@@ -1,0 +1,259 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation and measures the simulator itself with Bechamel.
+
+   Layout:
+   - the REPRODUCTION section prints Table 1, Figures 3, 4 and 5 and the
+     Section 7 validation, exactly as `persistsim <cmd>` would;
+   - the MICROBENCHMARK section has one Bechamel [Test.make] per
+     table/figure (timing the pipeline that regenerates it, at reduced
+     size) plus component benchmarks of the machine and the analyzers.
+
+   Scale knobs: BENCH_INSERTS (default 20000 for the reproduction,
+   tables use the experiment defaults) and BENCH_QUICK=1 to shrink
+   everything for smoke runs. *)
+
+open Bechamel
+open Toolkit
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> (try int_of_string v with Failure _ -> default)
+  | None -> default
+
+let quick = Sys.getenv_opt "BENCH_QUICK" = Some "1"
+let repro_inserts = getenv_int "BENCH_INSERTS" (if quick then 2400 else 20_000)
+let micro_inserts = if quick then 400 else 1200
+
+(* ------------------------------------------------------------------ *)
+(* Reproduction *)
+
+let banner title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+let reproduce () =
+  banner "REPRODUCTION: Memory Persistency (ISCA 2014) evaluation";
+  Printf.printf
+    "scale: %d inserts per configuration, %d-entry data segment\n"
+    repro_inserts Experiments.Run.default_capacity;
+  banner "Table 1";
+  print_string
+    (Experiments.Table1.render
+       (Experiments.Table1.run ~total_inserts:repro_inserts ()));
+  banner "Figure 3";
+  print_string
+    (Experiments.Fig3.render (Experiments.Fig3.run ~total_inserts:repro_inserts ()));
+  banner "Figure 4";
+  print_string
+    (Experiments.Granularity.render
+       (Experiments.Granularity.run ~total_inserts:repro_inserts
+          Experiments.Granularity.Atomic_persist));
+  banner "Figure 5";
+  print_string
+    (Experiments.Granularity.render
+       (Experiments.Granularity.run ~total_inserts:repro_inserts
+          Experiments.Granularity.Tracking));
+  banner "Section 7 validation (insert distance)";
+  print_string
+    (Experiments.Validation.render
+       (Experiments.Validation.run ~total_inserts:(min repro_inserts 8000) ()));
+  banner "Ablations (A1-A5)";
+  print_string
+    (Experiments.Ablation.render_comparisons
+       ~title:"A1: SC vs TSO (BPFS) conflict detection, cp/insert"
+       (Experiments.Ablation.tso_conflicts ~total_inserts:micro_inserts ()));
+  print_string
+    (Experiments.Ablation.render_comparisons
+       ~title:"\nA2: both spaces vs persistent-only conflicts, cp/insert"
+       (Experiments.Ablation.conflict_spaces ~total_inserts:micro_inserts ()));
+  print_string
+    (Experiments.Ablation.render_comparisons
+       ~title:"\nA4: coalescing on vs off, cp/insert"
+       (Experiments.Ablation.coalescing ~total_inserts:micro_inserts ()));
+  print_string
+    (Experiments.Ablation.render_buffer
+       (Experiments.Ablation.buffer_depth ~total_inserts:micro_inserts ()));
+  print_string
+    (Experiments.Ablation.render_capacity
+       (Experiments.Ablation.capacity ~total_inserts:(4 * micro_inserts) ()));
+  print_string
+    (Experiments.Ablation.render_sync
+       (Experiments.Ablation.persist_sync ~total_inserts:micro_inserts ()));
+  banner "Relaxing consistency vs relaxing persistency (Section 5.1)";
+  print_string
+    (Experiments.Consistency_exp.render
+       (Experiments.Consistency_exp.run ~total_inserts:repro_inserts ()));
+  banner "Model vs cache implementation";
+  print_string
+    (Experiments.Cache_impl.render
+       (Experiments.Cache_impl.run ~total_inserts:(4 * micro_inserts) ()));
+  banner "NVRAM wear";
+  print_string
+    (Experiments.Wear_exp.render
+       (Experiments.Wear_exp.run ~total_inserts:(2 * micro_inserts) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks *)
+
+let queue_trace point =
+  let params = Experiments.Run.queue_params ~total_inserts:micro_inserts point in
+  let trace = Memsim.Trace.create () in
+  let _ = Workloads.Queue.run params ~sink:(Memsim.Trace.sink trace) in
+  trace
+
+let bench_trace_generation =
+  Test.make ~name:"machine:queue-trace"
+    (Staged.stage (fun () -> ignore (queue_trace Experiments.Run.epoch_point)))
+
+let bench_engine mode =
+  let trace = queue_trace Experiments.Run.epoch_point in
+  Test.make ~name:(Printf.sprintf "engine:%s" (Persistency.Config.mode_name mode))
+    (Staged.stage (fun () ->
+         let e = Persistency.Engine.create (Persistency.Config.make mode) in
+         Persistency.Engine.observe_trace e trace;
+         ignore (Persistency.Engine.critical_path e)))
+
+let bench_recovery_sampling =
+  let params =
+    Experiments.Run.queue_params ~total_inserts:64
+      ~capacity_entries:64 Experiments.Run.epoch_point
+  in
+  let _, graph, layout =
+    Experiments.Run.analyze_with_graph params
+      (Persistency.Config.make Persistency.Config.Epoch)
+  in
+  let capacity =
+    layout.Workloads.Queue.data_addr + layout.Workloads.Queue.data_bytes
+  in
+  Test.make ~name:"observer:recovery-sampling"
+    (Staged.stage (fun () ->
+         match
+           Persistency.Observer.check_cut_invariant graph
+             (Workloads.Queue_recovery.checker ~params ~layout)
+             ~capacity ~samples:20 ~seed:1
+         with
+         | Ok () -> ()
+         | Error msg -> failwith msg))
+
+(* one Test.make per table/figure: time the full regeneration pipeline
+   at reduced size *)
+let bench_table1 =
+  Test.make ~name:"table1"
+    (Staged.stage (fun () ->
+         ignore (Experiments.Table1.run ~total_inserts:micro_inserts ())))
+
+let bench_fig3 =
+  Test.make ~name:"fig3"
+    (Staged.stage (fun () ->
+         ignore (Experiments.Fig3.run ~total_inserts:micro_inserts ())))
+
+let bench_fig4 =
+  Test.make ~name:"fig4"
+    (Staged.stage (fun () ->
+         ignore
+           (Experiments.Granularity.run ~total_inserts:micro_inserts
+              Experiments.Granularity.Atomic_persist)))
+
+let bench_fig5 =
+  Test.make ~name:"fig5"
+    (Staged.stage (fun () ->
+         ignore
+           (Experiments.Granularity.run ~total_inserts:micro_inserts
+              Experiments.Granularity.Tracking)))
+
+let bench_drain =
+  let params =
+    Experiments.Run.queue_params ~total_inserts:micro_inserts
+      Experiments.Run.epoch_point
+  in
+  let _, graph, _ =
+    Experiments.Run.analyze_with_graph params
+      (Persistency.Config.make Persistency.Config.Epoch)
+  in
+  Test.make ~name:"nvram:drain-simulation"
+    (Staged.stage (fun () ->
+         ignore
+           (Nvram.Drain.simulate graph ~ops:micro_inserts ~insn_ns_per_op:250.
+              ~latency_ns:500. ~depth:16)))
+
+let bench_epoch_hw =
+  let trace = queue_trace Experiments.Run.epoch_point in
+  Test.make ~name:"cachesim:epoch-hw"
+    (Staged.stage (fun () -> ignore (Cachesim.Epoch_hw.run_trace trace)))
+
+let bench_txn_commit =
+  Test.make ~name:"txn:commit"
+    (Staged.stage (fun () ->
+         let memory = Memsim.Memory.create () in
+         let machine = Memsim.Machine.create ~memory () in
+         Memsim.Machine.set_sink machine ignore;
+         let table =
+           Memsim.Memory.alloc memory Memsim.Addr.Persistent 64
+         in
+         let mgr = Txn.create machine ~log_capacity_bytes:(1 lsl 16) () in
+         ignore
+           (Memsim.Machine.spawn machine (fun () ->
+                for i = 1 to 500 do
+                  Txn.atomically mgr (fun t ->
+                      Txn.write t table (Int64.of_int i);
+                      Txn.write t (table + 8) (Int64.of_int (-i)))
+                done));
+         Memsim.Machine.run machine))
+
+let tests =
+  [ bench_table1; bench_fig3; bench_fig4; bench_fig5; bench_trace_generation;
+    bench_engine Persistency.Config.Strict;
+    bench_engine Persistency.Config.Epoch;
+    bench_engine Persistency.Config.Strand;
+    bench_recovery_sampling; bench_drain; bench_epoch_hw; bench_txn_commit ]
+
+let run_benchmarks () =
+  banner "MICROBENCHMARKS (Bechamel, monotonic clock)";
+  let cfg =
+    Benchmark.cfg ~limit:200
+      ~quota:(Time.second (if quick then 0.1 else 0.5))
+      ~kde:None ()
+  in
+  let table =
+    Report.Table.create
+      ~columns:
+        [ ("benchmark", Report.Table.Left);
+          ("time/run", Report.Table.Right);
+          ("r^2", Report.Table.Right) ]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
+          let ols =
+            Analyze.OLS.ols ~bootstrap:0 ~r_square:true
+              ~responder:(Measure.label Instance.monotonic_clock)
+              ~predictors:[| Measure.run |]
+              raw.Benchmark.lr
+          in
+          let time_ns =
+            match Analyze.OLS.estimates ols with
+            | Some (t :: _) -> t
+            | Some [] | None -> Float.nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "-"
+          in
+          let human =
+            if Float.is_nan time_ns then "-"
+            else if time_ns >= 1e9 then Printf.sprintf "%.2f s" (time_ns /. 1e9)
+            else if time_ns >= 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
+            else if time_ns >= 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
+            else Printf.sprintf "%.0f ns" time_ns
+          in
+          Report.Table.add_row table [ Test.Elt.name elt; human; r2 ])
+        (Test.elements test))
+    tests;
+  Report.Table.print table
+
+let () =
+  reproduce ();
+  run_benchmarks ();
+  print_endline "\nbench: done"

@@ -1,0 +1,400 @@
+(* persistsim: reproduce the evaluation of "Memory Persistency"
+   (Pelley, Chen, Wenisch — ISCA 2014) from the command line. *)
+
+open Cmdliner
+
+(* Shared options *)
+
+let inserts_t =
+  let doc = "Total inserts per configuration." in
+  Arg.(value & opt int Experiments.Run.default_total_inserts
+       & info [ "inserts" ] ~docv:"N" ~doc)
+
+let capacity_t =
+  let doc = "Data segment capacity in entries." in
+  Arg.(value & opt int Experiments.Run.default_capacity
+       & info [ "capacity" ] ~docv:"N" ~doc)
+
+let csv_t =
+  let doc = "Emit CSV instead of a formatted table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let threads_t default =
+  let doc = "Worker thread count." in
+  Arg.(value & opt int default & info [ "threads" ] ~docv:"N" ~doc)
+
+let design_t =
+  let conv_design =
+    Arg.enum
+      [ ("cwl", Workloads.Queue.Cwl); ("2lc", Workloads.Queue.Tlc);
+        ("fang", Workloads.Queue.Fang) ]
+  in
+  let doc = "Queue design: $(b,cwl), $(b,2lc) or $(b,fang)." in
+  Arg.(value & opt conv_design Workloads.Queue.Cwl
+       & info [ "design" ] ~docv:"DESIGN" ~doc)
+
+let model_t =
+  let conv_model =
+    Arg.enum
+      (List.map
+         (fun (p : Experiments.Run.model_point) -> (p.label, p))
+         Experiments.Run.table1_models)
+  in
+  let doc = "Model point: strict, epoch, racing-epochs or strand." in
+  Arg.(value & opt conv_model Experiments.Run.epoch_point
+       & info [ "model" ] ~docv:"MODEL" ~doc)
+
+(* table1 *)
+
+let table1_cmd =
+  let run inserts capacity latency csv calibrate =
+    let insn_ns =
+      if calibrate then (fun design threads ->
+        Calibrate.measure_native_ns ~design ~threads ())
+      else (fun design threads -> Calibrate.default_insn_ns ~design ~threads)
+    in
+    let t =
+      Experiments.Table1.run ~total_inserts:inserts
+        ~capacity_entries:capacity ~latency_ns:latency ~insn_ns ()
+    in
+    print_string
+      (if csv then Experiments.Table1.to_csv t else Experiments.Table1.render t)
+  in
+  let latency_t =
+    Arg.(value & opt float 500. & info [ "latency" ] ~docv:"NS"
+           ~doc:"Persist latency in nanoseconds.")
+  in
+  let calibrate_t =
+    Arg.(value & flag & info [ "calibrate" ]
+           ~doc:"Measure this machine's native queue rate instead of using \
+                 the paper-derived defaults.")
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce Table 1 (normalized insert rates).")
+    Term.(const run $ inserts_t $ capacity_t $ latency_t $ csv_t $ calibrate_t)
+
+(* fig3 *)
+
+let fig3_chart (t : Experiments.Fig3.t) =
+  let glyphs = [ 's'; 'e'; '*' ] in
+  let series =
+    List.map2
+      (fun (s : Experiments.Fig3.series) glyph ->
+        { Report.Chart.label = s.model; glyph; points = s.rates })
+      t.series
+      (List.filteri (fun i _ -> i < List.length t.series) glyphs)
+  in
+  Report.Chart.render
+    ~axes:{ Report.Chart.log_x = true; log_y = true; width = 64; height = 16 }
+    ~title:"Figure 3: inserts/s vs persist latency (ns), log-log" series
+
+let fig3_cmd =
+  let run inserts capacity csv chart =
+    let t =
+      Experiments.Fig3.run ~total_inserts:inserts ~capacity_entries:capacity ()
+    in
+    print_string
+      (if csv then Experiments.Fig3.to_csv t else Experiments.Fig3.render t);
+    if chart then print_string (fig3_chart t)
+  in
+  let chart_t =
+    Arg.(value & flag & info [ "chart" ]
+           ~doc:"Also render an ASCII log-log chart of the series.")
+  in
+  Cmd.v
+    (Cmd.info "fig3" ~doc:"Reproduce Figure 3 (throughput vs persist latency).")
+    Term.(const run $ inserts_t $ capacity_t $ csv_t $ chart_t)
+
+(* cache: model vs BPFS-style implementation *)
+
+let cache_cmd =
+  let run inserts threads =
+    print_string
+      (Experiments.Cache_impl.render
+         (Experiments.Cache_impl.run ~total_inserts:inserts ~threads ()))
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"Compare the persistency model against the BPFS-style epoch \
+             cache hardware (writebacks, flushes, wear).")
+    Term.(const run $ inserts_t $ threads_t 4)
+
+(* consistency *)
+
+let consistency_cmd =
+  let run inserts capacity =
+    print_string
+      (Experiments.Consistency_exp.render
+         (Experiments.Consistency_exp.run ~total_inserts:inserts
+            ~capacity_entries:capacity ()))
+  in
+  Cmd.v
+    (Cmd.info "consistency"
+       ~doc:"Strict persistency under SC / TSO / RMO vs relaxed persistency \
+             under SC (paper Section 5.1).")
+    Term.(const run $ inserts_t $ capacity_t)
+
+(* wear *)
+
+let wear_cmd =
+  let run inserts =
+    print_string
+      (Experiments.Wear_exp.render
+         (Experiments.Wear_exp.run ~total_inserts:inserts ()))
+  in
+  let inserts_small_t =
+    Arg.(value & opt int 2000 & info [ "inserts" ] ~docv:"N"
+           ~doc:"Total inserts (graph-recording run; keep moderate).")
+  in
+  Cmd.v
+    (Cmd.info "wear"
+       ~doc:"NVRAM write counts per model, with and without coalescing.")
+    Term.(const run $ inserts_small_t)
+
+(* fig4 / fig5 *)
+
+let gran_cmd which name doc =
+  let run inserts capacity csv =
+    let t =
+      Experiments.Granularity.run ~total_inserts:inserts
+        ~capacity_entries:capacity which
+    in
+    print_string
+      (if csv then Experiments.Granularity.to_csv t
+       else Experiments.Granularity.render t)
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ inserts_t $ capacity_t $ csv_t)
+
+let fig4_cmd =
+  gran_cmd Experiments.Granularity.Atomic_persist "fig4"
+    "Reproduce Figure 4 (atomic persist granularity)."
+
+let fig5_cmd =
+  gran_cmd Experiments.Granularity.Tracking "fig5"
+    "Reproduce Figure 5 (tracking granularity / persistent false sharing)."
+
+(* validate *)
+
+let validate_cmd =
+  let run inserts threads =
+    let t =
+      Experiments.Validation.run ~threads ~total_inserts:inserts ()
+    in
+    print_string (Experiments.Validation.render t)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Insert-distance distribution stability across schedules \
+             (Section 7 validation).")
+    Term.(const run $ inserts_t $ threads_t 4)
+
+(* recovery *)
+
+let recovery_cmd =
+  let run design model threads inserts samples buggy =
+    let annotation =
+      if buggy then Workloads.Queue.Buggy_epoch else model.Experiments.Run.annotation
+    in
+    let params =
+      { (Experiments.Run.queue_params ~design ~threads
+           ~total_inserts:(threads * inserts)
+           ~capacity_entries:(threads * inserts) model)
+        with Workloads.Queue.annotation }
+    in
+    let cfg = Persistency.Config.make model.Experiments.Run.mode in
+    let _, graph, layout = Experiments.Run.analyze_with_graph params cfg in
+    let capacity = layout.Workloads.Queue.data_addr + layout.Workloads.Queue.data_bytes in
+    Printf.printf
+      "%s / %s%s: %d threads x %d inserts, %d atomic persists, %d crash states sampled\n"
+      (Workloads.Queue.design_name design)
+      model.Experiments.Run.label
+      (if buggy then " (buggy: data->head barrier removed)" else "")
+      threads inserts
+      (Persistency.Persist_graph.node_count graph)
+      samples;
+    match
+      Persistency.Observer.check_cut_invariant graph
+        (Workloads.Queue_recovery.checker ~params ~layout)
+        ~capacity ~samples ~seed:params.Workloads.Queue.seed
+    with
+    | Ok () -> print_endline "recovery invariant holds in every sampled crash state"
+    | Error msg ->
+      Printf.printf "RECOVERY VIOLATION: %s\n" msg;
+      if not buggy then exit 1
+  in
+  let samples_t =
+    Arg.(value & opt int 500 & info [ "samples" ] ~docv:"N"
+           ~doc:"Number of random crash states to test.")
+  in
+  let buggy_t =
+    Arg.(value & flag & info [ "buggy" ]
+           ~doc:"Use the deliberately broken annotation (no data->head \
+                 barrier) to demonstrate a detectable recovery bug.")
+  in
+  let inserts_small_t =
+    Arg.(value & opt int 16 & info [ "inserts" ] ~docv:"N"
+           ~doc:"Inserts per thread (kept small: crash-state checking is \
+                 exhaustive in spirit).")
+  in
+  Cmd.v
+    (Cmd.info "recovery"
+       ~doc:"Failure injection: sample legal crash states via the recovery \
+             observer and check queue recovery.")
+    Term.(const run $ design_t $ model_t $ threads_t 2 $ inserts_small_t
+          $ samples_t $ buggy_t)
+
+(* trace *)
+
+let trace_cmd =
+  let run design model threads inserts =
+    let params =
+      Experiments.Run.queue_params ~design ~threads
+        ~total_inserts:(threads * inserts) model
+    in
+    let trace = Memsim.Trace.create () in
+    let _ = Workloads.Queue.run params ~sink:(Memsim.Trace.sink trace) in
+    Memsim.Trace.to_channel stdout trace
+  in
+  let inserts_small_t =
+    Arg.(value & opt int 4 & info [ "inserts" ] ~docv:"N"
+           ~doc:"Inserts per thread.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Dump the SC memory event trace of a queue run.")
+    Term.(const run $ design_t $ model_t $ threads_t 1 $ inserts_small_t)
+
+(* analyze *)
+
+let analyze_cmd =
+  let run design model threads inserts capacity track persist latency =
+    let params =
+      Experiments.Run.queue_params ~design ~threads ~total_inserts:inserts
+        ~capacity_entries:capacity model
+    in
+    let cfg =
+      Persistency.Config.make ~track_gran:track ~persist_gran:persist
+        model.Experiments.Run.mode
+    in
+    let m = Experiments.Run.analyze params cfg in
+    let timing =
+      { Nvram.Timing.ops = m.Experiments.Run.inserts;
+        critical_path = m.Experiments.Run.critical_path;
+        insn_ns_per_op = Calibrate.default_insn_ns ~design ~threads;
+        persist_latency_ns = latency }
+    in
+    Printf.printf "workload:        %s, %d threads, %d inserts\n"
+      (Workloads.Queue.design_name design) threads m.Experiments.Run.inserts;
+    Printf.printf "model:           %s\n" model.Experiments.Run.label;
+    Printf.printf "events:          %d\n" m.Experiments.Run.events;
+    Printf.printf "persists:        %d (%d atomic after coalescing)\n"
+      m.Experiments.Run.persist_events m.Experiments.Run.persist_ops;
+    Printf.printf "critical path:   %d (%.4f per insert)\n"
+      m.Experiments.Run.critical_path m.Experiments.Run.cp_per_insert;
+    Printf.printf "persist-bound:   %s\n"
+      (Report.Table.fmt_rate (Nvram.Timing.persist_bound_rate timing));
+    Printf.printf "instruction:     %s\n"
+      (Report.Table.fmt_rate (Nvram.Timing.instruction_rate timing));
+    Printf.printf "achievable:      %s (normalized %.3f)\n"
+      (Report.Table.fmt_rate (Nvram.Timing.achievable_rate timing))
+      (Nvram.Timing.normalized timing)
+  in
+  let track_t =
+    Arg.(value & opt int 8 & info [ "track-gran" ] ~docv:"BYTES"
+           ~doc:"Conflict tracking granularity.")
+  in
+  let persist_t =
+    Arg.(value & opt int 8 & info [ "persist-gran" ] ~docv:"BYTES"
+           ~doc:"Atomic persist granularity.")
+  in
+  let latency_t =
+    Arg.(value & opt float 500. & info [ "latency" ] ~docv:"NS"
+           ~doc:"Persist latency in nanoseconds.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Analyze one configuration in detail.")
+    Term.(const run $ design_t $ model_t $ threads_t 1 $ inserts_t
+          $ capacity_t $ track_t $ persist_t $ latency_t)
+
+(* ablation *)
+
+let ablation_cmd =
+  let run which inserts =
+    let all = which = "all" in
+    if all || which = "tso" then
+      print_string
+        (Experiments.Ablation.render_comparisons
+           ~title:
+             "Ablation A1: SC conflict ordering (baseline) vs BPFS/TSO \
+              conflict detection (variant), cp/insert"
+           (Experiments.Ablation.tso_conflicts ~total_inserts:inserts ()));
+    if all || which = "spaces" then
+      print_string
+        (Experiments.Ablation.render_comparisons
+           ~title:
+             "\nAblation A2: conflicts in both spaces (baseline) vs \
+              persistent-only (variant), cp/insert"
+           (Experiments.Ablation.conflict_spaces ~total_inserts:inserts ()));
+    if all || which = "coalesce" then
+      print_string
+        (Experiments.Ablation.render_comparisons
+           ~title:
+             "\nAblation A4: coalescing on (baseline) vs off (variant), \
+              cp/insert, CWL 1 thread"
+           (Experiments.Ablation.coalescing ~total_inserts:inserts ()));
+    if all || which = "buffer" then
+      print_string
+        (Experiments.Ablation.render_buffer
+           (Experiments.Ablation.buffer_depth ()));
+    if all || which = "sync" then
+      print_string
+        (Experiments.Ablation.render_sync (Experiments.Ablation.persist_sync ()));
+    if all || which = "capacity" then
+      print_string
+        (Experiments.Ablation.render_capacity
+           (Experiments.Ablation.capacity ~total_inserts:inserts ()))
+  in
+  let which_t =
+    Arg.(value & opt string "all" & info [ "which" ] ~docv:"NAME"
+           ~doc:"One of: tso, spaces, coalesce, buffer, sync, capacity, all.")
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Run the DESIGN.md ablations (A1-A5).")
+    Term.(const run $ which_t $ inserts_t)
+
+(* calibrate *)
+
+let calibrate_cmd =
+  let run () =
+    List.iter
+      (fun design ->
+        List.iter
+          (fun threads ->
+            let measured =
+              Calibrate.measure_native_ns ~design ~threads ()
+            in
+            Printf.printf
+              "%-20s %d threads: measured %7.1f ns/insert (default %6.1f)\n"
+              (Workloads.Queue.design_name design)
+              threads measured
+              (Calibrate.default_insn_ns ~design ~threads))
+          [ 1; 8 ])
+      [ Workloads.Queue.Cwl; Workloads.Queue.Tlc ]
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Measure this machine's native volatile-queue insert rate.")
+    Term.(const run $ const ())
+
+let main =
+  let doc =
+    "reproduction of 'Memory Persistency' (ISCA 2014): persistency models, \
+     persist critical-path simulation, persistent queues"
+  in
+  Cmd.group
+    (Cmd.info "persistsim" ~version:"1.0.0" ~doc)
+    [ table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; validate_cmd; recovery_cmd;
+      trace_cmd; analyze_cmd; ablation_cmd; calibrate_cmd; cache_cmd;
+      wear_cmd; consistency_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Bytes Int64 Memsim Option Persistency Printf Txn

@@ -1,0 +1,1 @@
+examples/figure1_cycle.ml: List Persistency Printf String

@@ -1,0 +1,1 @@
+examples/kvstore.ml: Array Bytes Hashtbl Int64 List Memsim Option Persistency Printf

@@ -1,0 +1,1 @@
+examples/queue_dependences.ml: Experiments Hashtbl List Memsim Persistency Printf Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Int64 List Memsim Option Persistency Printf

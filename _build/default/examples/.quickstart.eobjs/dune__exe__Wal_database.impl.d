@@ -1,0 +1,1 @@
+examples/wal_database.ml: Array Bytes Int64 List Memsim Option Persistency Printf

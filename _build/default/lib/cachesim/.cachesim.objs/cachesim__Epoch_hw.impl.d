@@ -1,0 +1,1 @@
+lib/cachesim/epoch_hw.ml: Cache Hashtbl List Memsim

@@ -1,0 +1,1 @@
+lib/cachesim/epoch_hw.mli: Cache Memsim

@@ -1,0 +1,81 @@
+type geometry = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+}
+
+let default_geometry = { sets = 64; ways = 8; line_bytes = 64 }
+
+let geometry_capacity_bytes g = g.sets * g.ways * g.line_bytes
+
+type 'a line = {
+  base : int;
+  mutable dirty : bool;
+  mutable meta : 'a;
+}
+
+(* Each set is an LRU-ordered list, most recent first. *)
+type 'a t = {
+  geom : geometry;
+  data : 'a line list array;
+}
+
+let create geom =
+  if not (Memsim.Addr.is_power_of_two geom.sets) then
+    invalid_arg "Cache.create: sets must be a power of two";
+  if geom.ways < 1 then invalid_arg "Cache.create: ways must be >= 1";
+  if geom.line_bytes < 8 || not (Memsim.Addr.is_power_of_two geom.line_bytes)
+  then invalid_arg "Cache.create: line_bytes must be a power of two >= 8";
+  { geom; data = Array.make geom.sets [] }
+
+let geometry t = t.geom
+
+let line_of_addr t addr = addr land lnot (t.geom.line_bytes - 1)
+
+let set_of t base = base / t.geom.line_bytes mod t.geom.sets
+
+let find t addr =
+  let base = line_of_addr t addr in
+  let s = set_of t base in
+  match List.partition (fun l -> l.base = base) t.data.(s) with
+  | [ line ], rest ->
+    t.data.(s) <- line :: rest;  (* refresh LRU *)
+    Some line
+  | _ -> None
+
+let insert t addr ~meta =
+  let base = line_of_addr t addr in
+  match find t addr with
+  | Some line -> (line, None)
+  | None ->
+    let s = set_of t base in
+    let resident = t.data.(s) in
+    let kept, evicted =
+      if List.length resident >= t.geom.ways then
+        (* evict the LRU way: last in the list *)
+        match List.rev resident with
+        | victim :: rest_rev -> (List.rev rest_rev, Some victim)
+        | [] -> (resident, None)
+      else (resident, None)
+    in
+    let line = { base; dirty = false; meta } in
+    t.data.(s) <- line :: kept;
+    (line, evicted)
+
+let evict t addr =
+  let base = line_of_addr t addr in
+  let s = set_of t base in
+  match List.partition (fun l -> l.base = base) t.data.(s) with
+  | [ line ], rest ->
+    t.data.(s) <- rest;
+    Some line
+  | _ -> None
+
+let iter_lines f t = Array.iter (List.iter f) t.data
+
+let dirty_lines t =
+  let acc = ref [] in
+  iter_lines (fun l -> if l.dirty then acc := l :: !acc) t;
+  !acc
+
+let occupancy t = Array.fold_left (fun n set -> n + List.length set) 0 t.data

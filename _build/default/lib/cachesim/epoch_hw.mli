@@ -1,0 +1,52 @@
+(** BPFS-style epoch-persistency hardware (paper Section 5.2,
+    "Implementation").
+
+    Where {!Persistency.Engine} measures the {e model} — the best-case
+    persist concurrency any implementation may exploit — this module
+    simulates the {e implementation sketch} the paper inherits from
+    BPFS: a write-back cache whose dirty lines are tagged with the
+    thread and epoch that last persisted to them.  Epoch order is
+    enforced with forced writebacks:
+
+    - {b intra-thread}: a persist into a line the same thread dirtied
+      in an {e older} epoch first flushes that thread's older epochs
+      (a line may hold data of only one in-flight epoch);
+    - {b conflict}: any access to a line dirtied by {e another}
+      thread's in-flight epoch flushes that thread's epochs up to it —
+      this is the conflict detection the paper critiques (the accessing
+      thread finds the tag, so a load-before-store race is missed);
+    - {b eviction}: evicting a dirty line first flushes its thread's
+      epochs up to the line's, preserving order to NVRAM.
+
+    Flushing an epoch writes back all its dirty lines.  Writebacks are
+    the implementation's NVRAM writes: comparing them against the
+    model's atomic persists quantifies write amplification and the cost
+    of cache-granularity conflict detection. *)
+
+type metrics = {
+  persists : int;  (** persistent store events observed *)
+  cache_coalesced : int;
+      (** persists absorbed by a line already dirty in the same epoch *)
+  writebacks : int;  (** NVRAM line writes *)
+  conflict_flushes : int;  (** epochs flushed by cross-thread access *)
+  intra_thread_flushes : int;  (** epochs flushed by own newer epoch *)
+  eviction_flushes : int;  (** epochs flushed by capacity eviction *)
+  final_flushes : int;  (** epochs drained at [finish] *)
+  max_line_wear : int;  (** most writebacks of any single line *)
+  wear_lines : int;  (** distinct NVRAM lines ever written back *)
+}
+
+val write_amplification : metrics -> line_bytes:int -> stored_bytes:int -> float
+(** [writebacks * line_bytes / stored_bytes]. *)
+
+type t
+
+val create : ?geometry:Cache.geometry -> unit -> t
+
+val observe : t -> Memsim.Event.t -> unit
+(** Feed the SC event trace (same input as the model engine). *)
+
+val finish : t -> metrics
+(** Drain all in-flight epochs and return the totals. *)
+
+val run_trace : ?geometry:Cache.geometry -> Memsim.Trace.t -> metrics

@@ -1,0 +1,29 @@
+(** Instruction execution rate (paper Section 7).
+
+    Table 1 normalizes the persist-bound insert rate to the rate the
+    same code achieves with no persist stalls — the paper measured this
+    natively on a Xeon E5645.  We provide:
+
+    - {!default_insn_ns}: per-insert costs derived from the paper's own
+      break-even data (strict CWL with one thread becomes persist-bound
+      at 17 ns with ~15 serialized persists per insert, implying
+      ≈250 ns per insert), used by default so experiment output is
+      machine-independent and comparable to the paper;
+    - {!measure_native_ns}: a live measurement of a host-native
+      volatile queue (real [Bytes] copies under real [Mutex]es, with
+      [Domain]-based parallelism), for readers who want this machine's
+      own normalization. *)
+
+val default_insn_ns : design:Workloads.Queue.design -> threads:int -> float
+(** Nanoseconds per insert of the non-recoverable implementation. *)
+
+val measure_native_ns :
+  ?inserts:int ->
+  ?entry_size:int ->
+  design:Workloads.Queue.design ->
+  threads:int ->
+  unit ->
+  float
+(** Wall-clock nanoseconds per insert of a host-native volatile queue
+    of the given design.  Defaults: 200_000 inserts, 100-byte
+    entries. *)

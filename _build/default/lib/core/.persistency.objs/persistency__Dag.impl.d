@@ -1,0 +1,1 @@
+lib/core/dag.ml: Array Iset List Memsim Queue Random

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Config Float Hashtbl Iset Level List Memsim Persist_graph

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Config Memsim Persist_graph

@@ -1,0 +1,1 @@
+lib/core/observer.ml: Bytes Dag Int64 Iset Memsim Persist_graph Printf Random

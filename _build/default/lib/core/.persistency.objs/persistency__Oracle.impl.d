@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Array Config Dag Engine Hashtbl Iset List Memsim Persist_graph Printf

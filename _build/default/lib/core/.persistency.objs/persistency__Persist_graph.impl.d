@@ -1,0 +1,1 @@
+lib/core/persist_graph.ml: Dag Format Iset Memsim

@@ -1,0 +1,1 @@
+lib/core/persist_graph.mli: Dag Format Iset Memsim

@@ -1,0 +1,126 @@
+type t = {
+  n : int;
+  succ : Iset.t array;
+  pred : Iset.t array;
+}
+
+let create ~n =
+  { n; succ = Array.make n Iset.empty; pred = Array.make n Iset.empty }
+
+let node_count t = t.n
+
+let check t v = if v < 0 || v >= t.n then invalid_arg "Dag: node out of range"
+
+let add_edge t u v =
+  check t u;
+  check t v;
+  t.succ.(u) <- Iset.add v t.succ.(u);
+  t.pred.(v) <- Iset.add u t.pred.(v)
+
+let succs t u =
+  check t u;
+  Iset.elements t.succ.(u)
+
+let preds t v =
+  check t v;
+  Iset.elements t.pred.(v)
+
+(* Kahn's algorithm; shared by [topo_sort] and [has_cycle]. *)
+let kahn t =
+  let indeg = Array.init t.n (fun v -> Iset.cardinal t.pred.(v)) in
+  let ready = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.push v ready) indeg;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty ready) do
+    let v = Queue.pop ready in
+    incr seen;
+    order := v :: !order;
+    Iset.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.push w ready)
+      t.succ.(v)
+  done;
+  if !seen = t.n then Some (List.rev !order) else None
+
+let topo_sort = kahn
+let has_cycle t = kahn t = None
+
+let reachable_from t u =
+  check t u;
+  let seen = Array.make t.n false in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      Iset.iter dfs t.succ.(v)
+    end
+  in
+  dfs u;
+  seen
+
+let ancestors t v =
+  check t v;
+  let seen = Array.make t.n false in
+  let rec dfs u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      Iset.iter dfs t.pred.(u)
+    end
+  in
+  Iset.iter dfs t.pred.(v);
+  let acc = ref Iset.empty in
+  Array.iteri (fun u s -> if s then acc := Iset.add u !acc) seen;
+  !acc
+
+let down_closure t set =
+  let seen = Array.make t.n false in
+  let rec dfs u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      Iset.iter dfs t.pred.(u)
+    end
+  in
+  Iset.iter (fun v -> check t v; dfs v) set;
+  let acc = ref Iset.empty in
+  Array.iteri (fun u s -> if s then acc := Iset.add u !acc) seen;
+  !acc
+
+let is_down_closed t set =
+  Iset.for_all (fun v -> Iset.subset t.pred.(v) set) set
+
+let random_down_closed ?size t rng =
+  let target =
+    match size with
+    | Some k -> min k t.n
+    | None -> Random.State.int rng (t.n + 1)
+  in
+  let indeg = Array.init t.n (fun v -> Iset.cardinal t.pred.(v)) in
+  let ready = Memsim.Vec.create () in
+  Array.iteri (fun v d -> if d = 0 then Memsim.Vec.push ready v) indeg;
+  let taken = ref Iset.empty in
+  let count = ref 0 in
+  while !count < target && not (Memsim.Vec.is_empty ready) do
+    let i = Random.State.int rng (Memsim.Vec.length ready) in
+    let v = Memsim.Vec.swap_remove ready i in
+    taken := Iset.add v !taken;
+    incr count;
+    Iset.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Memsim.Vec.push ready w)
+      t.succ.(v)
+  done;
+  !taken
+
+let all_down_closed t =
+  if t.n > 24 then invalid_arg "Dag.all_down_closed: too many nodes";
+  let result = ref [] in
+  for mask = 0 to (1 lsl t.n) - 1 do
+    let set = ref Iset.empty in
+    for v = 0 to t.n - 1 do
+      if mask land (1 lsl v) <> 0 then set := Iset.add v !set
+    done;
+    if is_down_closed t !set then result := !set :: !result
+  done;
+  !result

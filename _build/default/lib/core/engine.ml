@@ -1,0 +1,331 @@
+module Event = Memsim.Event
+module Vec = Memsim.Vec
+
+type tstate = {
+  mutable barrier : Level.t;  (* everything before the last barrier *)
+  mutable acc : Level.t;  (* accumulated in the current epoch *)
+  mutable ld_view : Level.t;
+      (* strict/TSO: what a load is ordered after (earlier loads, RMWs
+         and fences only — stores may drift past loads under TSO) *)
+  mutable barrier_f : Iset.t;
+  mutable acc_f : Iset.t;
+  mutable ld_view_f : Iset.t;
+}
+
+type bstate = {
+  mutable store_l : Level.t;
+  mutable load_l : Level.t;
+  mutable store_f : Iset.t;
+  mutable load_f : Iset.t;
+}
+
+type open_persist = { node : int; level : int }
+
+type t = {
+  cfg : Config.t;
+  threads : (int, tstate) Hashtbl.t;
+  blocks : (int, bstate) Hashtbl.t;  (* keyed by tracked block index *)
+  opens : (int, open_persist) Hashtbl.t;  (* keyed by atomic block index *)
+  graph : Persist_graph.t option;
+  persist_nodes : int Vec.t;  (* persist event index -> node id *)
+  closed : (int, unit) Hashtbl.t;
+      (* nodes some other persist depends on: no further coalescing *)
+  labels : (string, int ref) Hashtbl.t;
+  mutable next_node : int;  (* node counter when no graph is recorded *)
+  mutable max_level : int;
+  mutable persist_events : int;
+  mutable coalesced : int;
+  mutable events : int;
+}
+
+let create cfg =
+  { cfg;
+    threads = Hashtbl.create 16;
+    blocks = Hashtbl.create 1024;
+    opens = Hashtbl.create 1024;
+    graph = (if cfg.Config.record_graph then Some (Persist_graph.create ()) else None);
+    persist_nodes = Vec.create ();
+    closed = Hashtbl.create 1024;
+    labels = Hashtbl.create 4;
+    next_node = 0;
+    max_level = 0;
+    persist_events = 0;
+    coalesced = 0;
+    events = 0 }
+
+let config t = t.cfg
+
+let thread t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some ts -> ts
+  | None ->
+    let ts =
+      { barrier = Level.bottom;
+        acc = Level.bottom;
+        ld_view = Level.bottom;
+        barrier_f = Iset.empty;
+        acc_f = Iset.empty;
+        ld_view_f = Iset.empty }
+    in
+    Hashtbl.add t.threads tid ts;
+    ts
+
+let block t b =
+  match Hashtbl.find_opt t.blocks b with
+  | Some bs -> bs
+  | None ->
+    let bs =
+      { store_l = Level.bottom;
+        load_l = Level.bottom;
+        store_f = Iset.empty;
+        load_f = Iset.empty }
+    in
+    Hashtbl.add t.blocks b bs;
+    bs
+
+(* Tracked blocks overlapped by an access.  Accesses are at most eight
+   bytes and naturally aligned while granularities are at least eight
+   bytes, so an access touches exactly one block; keep the general form
+   as a guard. *)
+let tracked_block t (a : Event.access) =
+  let b0 = Memsim.Addr.block ~gran:t.cfg.Config.track_gran a.addr in
+  let b1 = Memsim.Addr.block ~gran:t.cfg.Config.track_gran (a.addr + a.size - 1) in
+  assert (b0 = b1);
+  b0
+
+let fresh_node t ~level ~deps write =
+  match t.graph with
+  | Some g -> Persist_graph.add_node g ~level ~deps write
+  | None ->
+    let id = t.next_node in
+    t.next_node <- id + 1;
+    id
+
+let record_graph t = t.cfg.Config.record_graph
+
+(* One-level transitive reduction of a frontier set: drop members that
+   are direct dependences of other members.  Keeps frontier sets (and
+   hence recorded graph edges) close to the covering antichain instead
+   of accumulating ancestors chained through shared volatile locations
+   such as lock words. *)
+let reduce t set =
+  match t.graph with
+  | None -> set
+  | Some g ->
+    if Iset.cardinal set <= 1 then set
+    else
+      Iset.filter
+        (fun m ->
+          not
+            (Iset.exists
+               (fun n ->
+                 n <> m
+                 && Iset.mem m (Persist_graph.get g n).Persist_graph.deps)
+               set))
+        set
+
+(* Handle a persist-generating access whose dependence sources are
+   [sources] (levels) and [deps_f] (graph frontier). *)
+let persist t (a : Event.access) ~sources ~deps_f =
+  t.persist_events <- t.persist_events + 1;
+  let pb = Memsim.Addr.block ~gran:t.cfg.Config.persist_gran a.addr in
+  let write = { Persist_graph.addr = a.addr; size = a.size; value = a.value } in
+  let full = List.fold_left Level.merge Level.bottom sources in
+  let node, level =
+    match Hashtbl.find_opt t.opens pb with
+    | Some op
+      when t.cfg.Config.coalescing
+           && (not (Hashtbl.mem t.closed op.node))
+           && Level.excluding ~node:op.node sources < op.level ->
+      (* Coalesce into the block's open persist: every dependence not
+         produced by that persist is strictly older, and nothing has
+         been ordered after the open persist yet. *)
+      t.coalesced <- t.coalesced + 1;
+      (match t.graph with
+      | Some g -> Persist_graph.coalesce_into g op.node ~deps:deps_f write
+      | None -> ());
+      (op.node, op.level)
+    | Some _ | None ->
+      let level = Level.level full + 1 in
+      let node = fresh_node t ~level ~deps:deps_f write in
+      Hashtbl.replace t.opens pb { node; level };
+      (node, level)
+  in
+  (* This persist is now ordered after every source persist it did not
+     merge into; those persists can no longer accept coalesced writes —
+     a later write merging into them would persist "before" a persist
+     that is already ordered after them, defeating the dependence the
+     recovery protocol relies on (paper Section 7: the ability to
+     coalesce is itself propagated through memory and thread state). *)
+  List.iter
+    (fun s ->
+      if Level.level s > 0 then
+        List.iter
+          (fun sn -> if sn <> node then Hashtbl.replace t.closed sn ())
+          (Level.provenance s))
+    sources;
+  if record_graph t then Vec.push t.persist_nodes node;
+  if level > t.max_level then t.max_level <- level;
+  (Level.of_node ~level ~node, Iset.singleton node)
+
+let access t kind (a : Event.access) =
+  let ts = thread t a.tid in
+  let conflicts_tracked =
+    (not t.cfg.Config.persistent_only_conflicts)
+    || Memsim.Addr.equal_space a.space Memsim.Addr.Persistent
+  in
+  let b = tracked_block t a in
+  let bs = block t b in
+  let is_store =
+    match kind with
+    | Event.Load -> false
+    | Event.Store | Event.Rmw -> true
+  in
+  let is_load =
+    match kind with
+    | Event.Load | Event.Rmw -> true
+    | Event.Store -> false
+  in
+  (* Dependence sources: the thread-order base, plus conflicting block
+     levels.  The base is the thread's barrier view, except for loads
+     under strict/TSO persistency, which only observe earlier loads,
+     RMWs and fences (stores may become visible past them).  A store
+     also conflicts with earlier loads (SC ordering); under the
+     BPFS/TSO conflict-detection ablation those load levels are
+     ignored. *)
+  let strict_tso =
+    t.cfg.Config.mode = Config.Strict && t.cfg.Config.consistency = Config.Tso
+  in
+  let base, base_f =
+    if strict_tso && is_load && not is_store then (ts.ld_view, ts.ld_view_f)
+    else (ts.barrier, ts.barrier_f)
+  in
+  let sources = ref [ base ] in
+  let deps_f = ref base_f in
+  if conflicts_tracked then begin
+    sources := bs.store_l :: !sources;
+    if record_graph t then deps_f := Iset.union !deps_f bs.store_f;
+    if is_store && not t.cfg.Config.tso_conflicts then begin
+      sources := bs.load_l :: !sources;
+      if record_graph t then deps_f := Iset.union !deps_f bs.load_f
+    end
+  end;
+  let deps_f = if record_graph t then reduce t !deps_f else !deps_f in
+  let is_persist =
+    is_store && Memsim.Addr.equal_space a.space Memsim.Addr.Persistent
+  in
+  let result, result_f =
+    if is_persist then persist t a ~sources:!sources ~deps_f
+    else (List.fold_left Level.merge Level.bottom !sources, deps_f)
+  in
+  (* Frontier maintenance.  A store-like access's result covers (in the
+     down-closure sense) everything in its dependence set, so replacing
+     the block frontier keeps sets bounded without losing ordering:
+     - after a persist, the block's frontier is exactly the node;
+     - a volatile store's frontier is its dependence set;
+     - loads from different threads are mutually unordered, so the load
+       frontier must accumulate (it is cleared by the next store, whose
+       dependence set covers it — except under the TSO ablation, where
+     stores do not observe loads). *)
+  if conflicts_tracked then begin
+    if is_load && not is_store then begin
+      bs.load_l <- Level.merge bs.load_l result;
+      if record_graph t then bs.load_f <- Iset.union bs.load_f result_f
+    end
+    else begin
+      bs.store_l <- Level.merge bs.store_l result;
+      if record_graph t then begin
+        bs.store_f <- result_f;
+        if not t.cfg.Config.tso_conflicts then bs.load_f <- Iset.empty
+      end
+    end
+  end;
+  ts.acc <- Level.merge ts.acc result;
+  if record_graph t then
+    ts.acc_f <-
+      (if is_persist then Iset.union (Iset.diff ts.acc_f deps_f) result_f
+       else Iset.union ts.acc_f result_f);
+  (* Strict persistency: persistent memory order equals volatile memory
+     order.  Under SC an implicit barrier follows every event; under
+     TSO stores still serialize (the barrier view accumulates
+     everything) but only loads, RMWs and fences advance the load view;
+     under RMO nothing implicit — fences alone order the thread. *)
+  match t.cfg.Config.mode with
+  | Config.Strict -> begin
+    match t.cfg.Config.consistency with
+    | Config.Sc ->
+      ts.barrier <- ts.acc;
+      ts.ld_view <- ts.acc;
+      if record_graph t then begin
+        ts.barrier_f <- ts.acc_f;
+        ts.ld_view_f <- ts.acc_f
+      end
+    | Config.Tso ->
+      ts.barrier <- ts.acc;
+      if record_graph t then ts.barrier_f <- ts.acc_f;
+      if is_load then begin
+        ts.ld_view <- Level.merge ts.ld_view result;
+        if record_graph t then
+          ts.ld_view_f <- Iset.union ts.ld_view_f result_f
+      end
+    | Config.Rmo -> ()
+  end
+  | Config.Epoch | Config.Strand -> ()
+
+let barrier_of t (ts : tstate) =
+  ts.barrier <- Level.merge ts.barrier ts.acc;
+  (* acc covers the old barrier frontier (it only ever grows within a
+     thread), so the snapshot can replace rather than accumulate. *)
+  if record_graph t then ts.barrier_f <- ts.acc_f
+
+let observe t ev =
+  t.events <- t.events + 1;
+  match ev with
+  | Event.Access (kind, a) -> access t kind a
+  | Event.Persist_barrier tid ->
+    (match t.cfg.Config.mode with
+    | Config.Epoch | Config.Strand -> barrier_of t (thread t tid)
+    | Config.Strict ->
+      (* under a relaxed consistency the event doubles as the memory
+         fence that restores thread order *)
+      (match t.cfg.Config.consistency with
+      | Config.Sc -> ()
+      | Config.Tso | Config.Rmo ->
+        let ts = thread t tid in
+        barrier_of t ts;
+        ts.ld_view <- ts.acc;
+        if record_graph t then ts.ld_view_f <- ts.acc_f))
+  | Event.New_strand tid ->
+    (match t.cfg.Config.mode with
+    | Config.Strand ->
+      let ts = thread t tid in
+      ts.barrier <- Level.bottom;
+      ts.acc <- Level.bottom;
+      ts.barrier_f <- Iset.empty;
+      ts.acc_f <- Iset.empty
+    | Config.Strict | Config.Epoch -> ())
+  | Event.Label (_, name) ->
+    (match Hashtbl.find_opt t.labels name with
+    | Some r -> incr r
+    | None -> Hashtbl.add t.labels name (ref 1))
+
+let observe_trace t trace = Memsim.Trace.iter (observe t) trace
+
+let critical_path t = t.max_level
+let persist_events t = t.persist_events
+let persist_ops t = t.persist_events - t.coalesced
+let coalesced t = t.coalesced
+let events t = t.events
+
+let label_count t name =
+  match Hashtbl.find_opt t.labels name with
+  | Some r -> !r
+  | None -> 0
+
+let cp_per_label t name =
+  let n = label_count t name in
+  if n = 0 then Float.nan else float_of_int t.max_level /. float_of_int n
+
+let graph t = t.graph
+
+let node_of_persist_event t i = Vec.get t.persist_nodes i

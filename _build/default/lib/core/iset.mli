@@ -1,0 +1,5 @@
+(** Integer sets (persist node ids); [Set.Make(Int)] plus a printer. *)
+
+include Set.S with type elt = int
+
+val pp : Format.formatter -> t -> unit

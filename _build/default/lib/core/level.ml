@@ -1,0 +1,59 @@
+type t = {
+  level : int;
+  prov : int list;
+}
+
+let max_provenance = 20
+
+let bottom = { level = 0; prov = [] }
+
+let of_node ~level ~node = { level; prov = [ node ] }
+
+(* Merge two sorted distinct lists, giving up (returning []) past the
+   provenance cap. *)
+let union a b =
+  let rec go n acc a b =
+    if n > max_provenance then None
+    else
+      match a, b with
+      | [], rest | rest, [] ->
+        if n + List.length rest > max_provenance then None
+        else Some (List.rev_append acc rest)
+      | x :: a', y :: b' ->
+        if x < y then go (n + 1) (x :: acc) a' b
+        else if y < x then go (n + 1) (y :: acc) a b'
+        else go (n + 1) (x :: acc) a' b'
+  in
+  match go 0 [] a b with
+  | Some l -> l
+  | None -> []
+
+let merge a b =
+  if a.level > b.level then a
+  else if b.level > a.level then b
+  else if a.level = 0 then bottom
+  else if a.prov = [] || b.prov = [] then { level = a.level; prov = [] }
+    (* at a positive level, [] means provenance overflowed to unknown,
+       which absorbs *)
+  else { level = a.level; prov = union a.prov b.prov }
+
+let level t = t.level
+let provenance t = t.prov
+
+let excluding ~node sources =
+  List.fold_left
+    (fun acc s ->
+      match s.prov with
+      | [ n ] when n = node -> acc
+      | _ -> max acc s.level)
+    0 sources
+
+let pp ppf t =
+  match t.prov with
+  | [] -> Format.fprintf ppf "%d" t.level
+  | prov ->
+    Format.fprintf ppf "%d@@{%a}" t.level
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      prov

@@ -1,0 +1,50 @@
+(** Persist levels with provenance.
+
+    The timing simulation assigns each atomic persist a {e level}: the
+    length of the longest chain of persist ordering constraints ending
+    at it.  With infinite bandwidth and banks, persists at the same
+    level complete in the same "wave", so the maximum level is the
+    persist ordering-constraint critical path (paper Section 7).
+
+    A level value carries provenance: the set of persist nodes that
+    produced it (the persists {e at} that level along the constraint
+    chain).  Provenance serves two purposes:
+
+    - a persist may coalesce with the open persist of its block even
+      when ordered after that very persist, since merging a write into
+      its own antecedent violates nothing — the exclusion test needs to
+      know which dependences are attributable to the coalescing target;
+    - when a persist is created, the persists it depends on can no
+      longer accept coalesced writes ("the ability to coalesce is
+      propagated through memory and thread state", Section 7) — the
+      engine closes exactly the provenance nodes.
+
+    Provenance is bounded: past {!max_provenance} nodes it degrades to
+    "unknown", which is conservative for exclusion (the level always
+    counts) and merely optimistic for closing. *)
+
+type t = private {
+  level : int;
+  prov : int list;  (** sorted, distinct node ids; [] = unknown/none *)
+}
+
+val max_provenance : int
+
+val bottom : t
+(** Level 0: no persist dependence. *)
+
+val of_node : level:int -> node:int -> t
+
+val merge : t -> t -> t
+(** Pointwise maximum; provenance unions at equal levels (capped). *)
+
+val level : t -> int
+
+val provenance : t -> int list
+
+val excluding : node:int -> t list -> int
+(** [excluding ~node sources] is the maximum level among [sources] not
+    fully attributable to [node] — the dependence a persist would
+    retain after coalescing into node [node]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,234 @@
+module Event = Memsim.Event
+module Trace = Memsim.Trace
+
+type t = {
+  n : int;
+  dag : Dag.t;  (* over trace event indices *)
+  persists : int list;  (* trace indices of persist events, in order *)
+  reach : (int, bool array) Hashtbl.t;  (* memoized reachability *)
+}
+
+let is_store_kind = function
+  | Event.Store | Event.Rmw -> true
+  | Event.Load -> false
+
+let is_load_kind = function
+  | Event.Load | Event.Rmw -> true
+  | Event.Store -> false
+
+type thread_ctx = {
+  mutable cur : int list;  (* accesses since the last in-strand barrier *)
+  mutable last_barrier : int option;
+  mutable last_access : int option;  (* for strict/SC program order *)
+  mutable all : (int * Event.kind option) list;
+      (* strict/TSO pairwise ordering; [None] marks a fence *)
+}
+
+(* How same-thread events order persists:
+   - strict/SC: total program order (chain suffices);
+   - strict/TSO: every pair except pure-store -> pure-load;
+   - strict/RMO, epoch, strand: fence/barrier separation only. *)
+type discipline =
+  | Chain_all
+  | Pairwise_tso
+  | Fence_chained
+
+let discipline (cfg : Config.t) =
+  match cfg.Config.mode, cfg.Config.consistency with
+  | Config.Strict, Config.Sc -> Chain_all
+  | Config.Strict, Config.Tso -> Pairwise_tso
+  | Config.Strict, Config.Rmo -> Fence_chained
+  | (Config.Epoch | Config.Strand), _ -> Fence_chained
+
+let build (cfg : Config.t) trace =
+  let n = Trace.length trace in
+  let dag = Dag.create ~n in
+  let threads : (int, thread_ctx) Hashtbl.t = Hashtbl.create 8 in
+  let ctx tid =
+    match Hashtbl.find_opt threads tid with
+    | Some c -> c
+    | None ->
+      let c = { cur = []; last_barrier = None; last_access = None; all = [] } in
+      Hashtbl.add threads tid c;
+      c
+  in
+  let disc = discipline cfg in
+  (* tracked block -> prior accesses (trace index, kind, space) *)
+  let blocks : (int, (int * Event.kind * Memsim.Addr.space) list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let persists = ref [] in
+  for i = 0 to n - 1 do
+    match Trace.get trace i with
+    | Event.Access (kind, a) ->
+      if Event.is_persist (Event.Access (kind, a)) then persists := i :: !persists;
+      let c = ctx a.tid in
+      (* Rule 1: same-thread ordering. *)
+      (match disc with
+      | Chain_all ->
+        (match c.last_access with
+        | Some p -> Dag.add_edge dag p i
+        | None -> ());
+        c.last_access <- Some i
+      | Pairwise_tso ->
+        List.iter
+          (fun (j, kj) ->
+            let ordered =
+              match kj, kind with
+              | Some Event.Store, Event.Load -> false  (* st -> ld drifts *)
+              | (Some _ | None), _ -> true
+            in
+            if ordered then Dag.add_edge dag j i)
+          c.all;
+        c.all <- (i, Some kind) :: c.all
+      | Fence_chained ->
+        (match c.last_barrier with
+        | Some b -> Dag.add_edge dag b i
+        | None -> ());
+        c.cur <- i :: c.cur);
+      (* Rule 2: conflicting accesses in trace (SC) order. *)
+      let conflicts_tracked =
+        (not cfg.Config.persistent_only_conflicts)
+        || Memsim.Addr.equal_space a.space Memsim.Addr.Persistent
+      in
+      if conflicts_tracked then begin
+        let b = Memsim.Addr.block ~gran:cfg.Config.track_gran a.addr in
+        let prior =
+          match Hashtbl.find_opt blocks b with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Hashtbl.add blocks b r;
+            r
+        in
+        List.iter
+          (fun (j, kj, _space) ->
+            let conflict = is_store_kind kj || is_store_kind kind in
+            let missed_by_tso =
+              cfg.Config.tso_conflicts
+              && (not (is_store_kind kj))
+              && is_load_kind kj && is_store_kind kind
+            in
+            if conflict && not missed_by_tso then Dag.add_edge dag j i)
+          !prior;
+        prior := (i, kind, a.space) :: !prior
+      end
+    | Event.Persist_barrier tid ->
+      (match disc with
+      | Fence_chained ->
+        let c = ctx tid in
+        List.iter (fun e -> Dag.add_edge dag e i) c.cur;
+        (match c.last_barrier with
+        | Some b -> Dag.add_edge dag b i
+        | None -> ());
+        c.last_barrier <- Some i;
+        c.cur <- []
+      | Pairwise_tso ->
+        let c = ctx tid in
+        List.iter (fun (j, _) -> Dag.add_edge dag j i) c.all;
+        c.all <- (i, None) :: c.all
+      | Chain_all -> ())
+    | Event.New_strand tid ->
+      (match cfg.Config.mode with
+      | Config.Strand ->
+        let c = ctx tid in
+        c.last_barrier <- None;
+        c.cur <- []
+      | Config.Strict | Config.Epoch -> ())
+    | Event.Label _ -> ()
+  done;
+  { n; dag; persists = List.rev !persists; reach = Hashtbl.create 64 }
+
+let event_count t = t.n
+let persist_event_indices t = t.persists
+
+let reach t i =
+  match Hashtbl.find_opt t.reach i with
+  | Some r -> r
+  | None ->
+    let r = Dag.reachable_from t.dag i in
+    Hashtbl.add t.reach i r;
+    r
+
+let required_ordered t i j = i <> j && (reach t i).(j)
+
+let verify_engine (cfg : Config.t) trace =
+  let cfg = { cfg with Config.record_graph = true } in
+  let engine = Engine.create cfg in
+  Engine.observe_trace engine trace;
+  let graph =
+    match Engine.graph engine with
+    | Some g -> g
+    | None -> assert false
+  in
+  let oracle = build cfg trace in
+  let gdag = Persist_graph.to_dag graph in
+  let persist_idx = Array.of_list oracle.persists in
+  let p = Array.length persist_idx in
+  let node_of k = Engine.node_of_persist_event engine k in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if Dag.has_cycle gdag then err "persist graph is cyclic"
+  else begin
+    (* Levels must strictly dominate dependence levels. *)
+    let level_violation = ref None in
+    Persist_graph.iter
+      (fun node ->
+        Iset.iter
+          (fun dep ->
+            let dn = Persist_graph.get graph dep in
+            if dn.Persist_graph.level >= node.Persist_graph.level then
+              level_violation :=
+                Some
+                  (Printf.sprintf "node %d (level %d) depends on node %d (level %d)"
+                     node.Persist_graph.id node.Persist_graph.level dep
+                     dn.Persist_graph.level))
+          node.Persist_graph.deps)
+      graph;
+    match !level_violation with
+    | Some msg -> Error msg
+    | None ->
+      (* Every ordered pair of persist events must share a node or be
+         connected with increasing levels. *)
+      let greach = Hashtbl.create 64 in
+      let node_reach n =
+        match Hashtbl.find_opt greach n with
+        | Some r -> r
+        | None ->
+          let r = Dag.reachable_from gdag n in
+          Hashtbl.add greach n r;
+          r
+      in
+      let violation = ref None in
+      (try
+         for ki = 0 to p - 1 do
+           for kj = ki + 1 to p - 1 do
+             if required_ordered oracle persist_idx.(ki) persist_idx.(kj) then begin
+               let ni = node_of ki and nj = node_of kj in
+               if ni <> nj then begin
+                 let li = (Persist_graph.get graph ni).Persist_graph.level in
+                 let lj = (Persist_graph.get graph nj).Persist_graph.level in
+                 if not (node_reach ni).(nj) then begin
+                   violation :=
+                     Some
+                       (Printf.sprintf
+                          "persist events %d -> %d required ordered but nodes %d, %d unconnected"
+                          persist_idx.(ki) persist_idx.(kj) ni nj);
+                   raise Exit
+                 end
+                 else if li >= lj then begin
+                   violation :=
+                     Some
+                       (Printf.sprintf
+                          "persist events %d -> %d ordered but levels %d >= %d"
+                          persist_idx.(ki) persist_idx.(kj) li lj);
+                   raise Exit
+                 end
+               end
+             end
+           done
+         done
+       with Exit -> ());
+      (match !violation with
+      | Some msg -> Error msg
+      | None -> Ok ())
+  end

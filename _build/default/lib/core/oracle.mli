@@ -1,0 +1,36 @@
+(** Reference implementation of persistent memory order, used to verify
+    {!Engine} in the test suite.
+
+    The oracle computes, directly from the model definitions in paper
+    Section 5 and in O(events²) time, the set of ordered persist pairs:
+
+    - same-thread accesses separated by a persist barrier (every
+      adjacent pair under strict persistency; within one strand under
+      strand persistency);
+    - conflicting accesses (overlapping tracked blocks, at least one
+      store) in trace order, honoring the TSO and persistent-space-only
+      ablations;
+
+    then closes transitively.  Two persist events are {e required
+    ordered} when a persistent-memory-order path connects them.  The
+    engine's output is correct when every required-ordered pair of
+    persists either shares an atomic persist node or is connected in
+    the persist dependence graph with strictly increasing levels. *)
+
+type t
+
+val build : Config.t -> Memsim.Trace.t -> t
+
+val event_count : t -> int
+
+val persist_event_indices : t -> int list
+(** Trace indices of persist-generating events, in order. *)
+
+val required_ordered : t -> int -> int -> bool
+(** [required_ordered t i j] (trace indices, [i < j]): persistent
+    memory order requires event [i]'s persist before event [j]'s. *)
+
+val verify_engine : Config.t -> Memsim.Trace.t -> (unit, string) result
+(** Re-run the engine with graph recording over [trace] and check its
+    node assignment and levels against the oracle.  Also checks graph
+    acyclicity and that coalesced nodes respect every constraint. *)

@@ -1,0 +1,45 @@
+type write = { addr : int; size : int; value : int64 }
+
+type node = {
+  id : int;
+  mutable level : int;
+  writes : write Memsim.Vec.t;
+  mutable deps : Iset.t;
+}
+
+type t = { nodes : node Memsim.Vec.t }
+
+let create () = { nodes = Memsim.Vec.create () }
+
+let node_count t = Memsim.Vec.length t.nodes
+let get t id = Memsim.Vec.get t.nodes id
+
+let add_node t ~level ~deps write =
+  let id = node_count t in
+  let writes = Memsim.Vec.create () in
+  Memsim.Vec.push writes write;
+  Memsim.Vec.push t.nodes { id; level; writes; deps = Iset.remove id deps };
+  id
+
+let coalesce_into t id ~deps write =
+  let n = get t id in
+  Memsim.Vec.push n.writes write;
+  n.deps <- Iset.union n.deps (Iset.remove id deps)
+
+let iter f t = Memsim.Vec.iter f t.nodes
+
+let edge_count t =
+  Memsim.Vec.fold_left (fun acc n -> acc + Iset.cardinal n.deps) 0 t.nodes
+
+let to_dag t =
+  let dag = Dag.create ~n:(node_count t) in
+  iter (fun n -> Iset.iter (fun dep -> Dag.add_edge dag dep n.id) n.deps) t;
+  dag
+
+let pp ppf t =
+  iter
+    (fun n ->
+      Format.fprintf ppf "n%d level=%d writes=%d deps=%a@." n.id n.level
+        (Memsim.Vec.length n.writes)
+        Iset.pp n.deps)
+    t

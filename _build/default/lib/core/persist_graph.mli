@@ -1,0 +1,42 @@
+(** Explicit persist dependence graph.
+
+    Nodes are {e atomic persists} — a persist event, plus every later
+    persist event coalesced into it.  Edges point from a node to the
+    nodes it must persist {e after}.  Any down-closed set of nodes is a
+    state the recovery observer may see at failure (see {!Observer}).
+
+    Node ids are dense and assigned in creation order; creation order
+    is consistent with the SC order of the underlying stores, so
+    applying the writes of a down-closed set in id order yields the
+    correct last-writer-wins memory image. *)
+
+type write = { addr : int; size : int; value : int64 }
+
+type node = {
+  id : int;
+  mutable level : int;
+  writes : write Memsim.Vec.t;  (** in store order *)
+  mutable deps : Iset.t;  (** node ids this node persists after *)
+}
+
+type t
+
+val create : unit -> t
+val node_count : t -> int
+val get : t -> int -> node
+
+val add_node : t -> level:int -> deps:Iset.t -> write -> int
+(** Create a fresh atomic persist; returns its id.  [deps] never
+    contains the new id. *)
+
+val coalesce_into : t -> int -> deps:Iset.t -> write -> unit
+(** Merge a later persist's write and newly discovered dependences into
+    an existing node (self-dependences are dropped). *)
+
+val iter : (node -> unit) -> t -> unit
+val edge_count : t -> int
+
+val to_dag : t -> Dag.t
+(** Dependence DAG over node ids ([dep -> node] edges). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Calibrate List Nvram Persistency Printf Report Run Workloads

@@ -1,0 +1,1 @@
+lib/experiments/cache_impl.ml: Cachesim List Memsim Persistency Printf Report Run Workloads

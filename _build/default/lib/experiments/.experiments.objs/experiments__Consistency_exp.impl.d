@@ -1,0 +1,1 @@
+lib/experiments/consistency_exp.ml: Calibrate List Nvram Persistency Printf Report Run Workloads

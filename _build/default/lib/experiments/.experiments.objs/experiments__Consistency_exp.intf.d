@@ -1,0 +1,1 @@
+lib/experiments/consistency_exp.mli:

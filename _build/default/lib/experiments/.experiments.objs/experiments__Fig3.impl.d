@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Calibrate List Nvram Persistency Printf Report Run String Workloads

@@ -1,0 +1,1 @@
+lib/experiments/granularity.ml: List Persistency Printf Report Run

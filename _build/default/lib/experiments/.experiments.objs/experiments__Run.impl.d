@@ -1,0 +1,1 @@
+lib/experiments/run.ml: Memsim Persistency Workloads

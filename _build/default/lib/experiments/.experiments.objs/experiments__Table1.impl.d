@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Calibrate List Nvram Persistency Printf Report Run String Workloads

@@ -1,0 +1,1 @@
+lib/experiments/validation.ml: Buffer Float Hashtbl List Memsim Persistency Printf Pstats Run String Workloads

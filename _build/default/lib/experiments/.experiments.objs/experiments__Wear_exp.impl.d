@@ -1,0 +1,1 @@
+lib/experiments/wear_exp.ml: List Nvram Persistency Printf Report Run

@@ -1,0 +1,207 @@
+type comparison = {
+  label : string;
+  baseline : float;
+  variant : float;
+}
+
+let epoch_points = [ Run.epoch_point; Run.racing_point ]
+
+let cp params cfg = (Run.analyze params cfg).Run.cp_per_insert
+
+let flag_comparison ~make_variant ?(threads = 4) ?total_inserts () =
+  List.concat_map
+    (fun design ->
+      List.map
+        (fun (point : Run.model_point) ->
+          let params = Run.queue_params ~design ~threads ?total_inserts point in
+          let base_cfg = Persistency.Config.make point.Run.mode in
+          { label =
+              Printf.sprintf "%s/%s/%dT"
+                (Workloads.Queue.design_name design)
+                point.Run.label threads;
+            baseline = cp params base_cfg;
+            variant = cp params (make_variant point.Run.mode) })
+        epoch_points)
+    [ Workloads.Queue.Cwl; Workloads.Queue.Tlc ]
+
+let tso_conflicts ?threads ?total_inserts () =
+  flag_comparison
+    ~make_variant:(Persistency.Config.make ~tso_conflicts:true)
+    ?threads ?total_inserts ()
+
+let conflict_spaces ?threads ?total_inserts () =
+  flag_comparison
+    ~make_variant:(Persistency.Config.make ~persistent_only_conflicts:true)
+    ?threads ?total_inserts ()
+
+let coalescing ?total_inserts () =
+  List.map
+    (fun (point : Run.model_point) ->
+      let params = Run.queue_params ?total_inserts point in
+      { label = point.Run.label;
+        baseline = cp params (Persistency.Config.make point.Run.mode);
+        variant =
+          cp params (Persistency.Config.make ~coalescing:false point.Run.mode) })
+    Run.table1_models
+
+type buffer_point = {
+  depth : int;
+  by_model : (string * float) list;
+}
+
+let buffer_depth ?(total_inserts = 2000) ?(depths = [ 1; 2; 4; 8; 16; 64; 256 ])
+    ?(latency_ns = 500.) () =
+  let insn_ns =
+    Calibrate.default_insn_ns ~design:Workloads.Queue.Cwl ~threads:1
+  in
+  let graphs =
+    List.map
+      (fun (point : Run.model_point) ->
+        let params = Run.queue_params ~total_inserts point in
+        let _, graph, _ =
+          Run.analyze_with_graph params (Persistency.Config.make point.Run.mode)
+        in
+        (point.Run.label, graph))
+      Run.fig3_models
+  in
+  List.map
+    (fun depth ->
+      { depth;
+        by_model =
+          List.map
+            (fun (label, graph) ->
+              let r =
+                Nvram.Drain.simulate graph ~ops:total_inserts
+                  ~insn_ns_per_op:insn_ns ~latency_ns ~depth
+              in
+              (label, r.Nvram.Drain.ops_per_sec))
+            graphs })
+    depths
+
+type sync_point = {
+  sync_every : int option;
+  by_model : (string * float) list;
+}
+
+let persist_sync ?(total_inserts = 2000)
+    ?(intervals = [ Some 1; Some 4; Some 16; Some 64; None ])
+    ?(latency_ns = 500.) () =
+  let insn_ns =
+    Calibrate.default_insn_ns ~design:Workloads.Queue.Cwl ~threads:1
+  in
+  let graphs =
+    List.map
+      (fun (point : Run.model_point) ->
+        let params = Run.queue_params ~total_inserts point in
+        let _, graph, _ =
+          Run.analyze_with_graph params (Persistency.Config.make point.Run.mode)
+        in
+        (point.Run.label, graph))
+      Run.fig3_models
+  in
+  List.map
+    (fun sync_every ->
+      { sync_every;
+        by_model =
+          List.map
+            (fun (label, graph) ->
+              let r =
+                Nvram.Drain.simulate ?sync_every graph ~ops:total_inserts
+                  ~insn_ns_per_op:insn_ns ~latency_ns ~depth:max_int
+              in
+              (label, r.Nvram.Drain.ops_per_sec))
+            graphs })
+    intervals
+
+let render_sync (points : sync_point list) =
+  match points with
+  | [] -> "no sync points\n"
+  | first :: _ ->
+    let models = List.map fst first.by_model in
+    let table =
+      Report.Table.create
+        ~columns:
+          (("Sync every", Report.Table.Right)
+          :: List.map (fun m -> (m, Report.Table.Right)) models)
+    in
+    List.iter
+      (fun p ->
+        Report.Table.add_row table
+          ((match p.sync_every with
+           | Some k -> Printf.sprintf "%d inserts" k
+           | None -> "never")
+          :: List.map
+               (fun m -> Report.Table.fmt_rate (List.assoc m p.by_model))
+               models))
+      points;
+    Printf.sprintf
+      "Persist sync (paper 4.1): throughput vs sync frequency (CWL, 1 thread, 500 ns)\n\n%s"
+      (Report.Table.render table)
+
+let capacity ?(capacities = [ 8; 16; 24; 32; 48; 64; 128 ]) ?total_inserts () =
+  List.map
+    (fun capacity_entries ->
+      let params =
+        Run.queue_params ~capacity_entries ?total_inserts Run.strand_point
+      in
+      ( capacity_entries,
+        cp params (Persistency.Config.make Persistency.Config.Strand) ))
+    capacities
+
+let render_comparisons ~title comparisons =
+  let table =
+    Report.Table.create
+      ~columns:
+        [ ("Configuration", Report.Table.Left);
+          ("baseline", Report.Table.Right);
+          ("variant", Report.Table.Right);
+          ("ratio", Report.Table.Right) ]
+  in
+  List.iter
+    (fun c ->
+      Report.Table.add_row table
+        [ c.label;
+          Report.Table.fmt_float c.baseline;
+          Report.Table.fmt_float c.variant;
+          Report.Table.fmt_float ~decimals:2 (c.variant /. c.baseline) ])
+    comparisons;
+  Printf.sprintf "%s\n\n%s" title (Report.Table.render table)
+
+let render_buffer (points : buffer_point list) =
+  match points with
+  | [] -> "no buffer points\n"
+  | first :: _ ->
+    let models = List.map fst first.by_model in
+    let table =
+      Report.Table.create
+        ~columns:
+          (("Depth", Report.Table.Right)
+          :: List.map (fun m -> (m, Report.Table.Right)) models)
+    in
+    List.iter
+      (fun p ->
+        Report.Table.add_row table
+          (string_of_int p.depth
+          :: List.map
+               (fun m -> Report.Table.fmt_rate (List.assoc m p.by_model))
+               models))
+      points;
+    Printf.sprintf
+      "Ablation A3: finite persist-buffer throughput (CWL, 1 thread, 500 ns)\n\n%s"
+      (Report.Table.render table)
+
+let render_capacity points =
+  let table =
+    Report.Table.create
+      ~columns:
+        [ ("Capacity (entries)", Report.Table.Right);
+          ("strand cp/insert", Report.Table.Right) ]
+  in
+  List.iter
+    (fun (cap, v) ->
+      Report.Table.add_row table
+        [ string_of_int cap; Report.Table.fmt_float v ])
+    points;
+  Printf.sprintf
+    "Ablation A5: data-segment capacity bounds strand coalescing (CWL, 1 thread)\n\n%s"
+    (Report.Table.render table)

@@ -1,0 +1,78 @@
+(** Ablations of design choices the paper discusses in prose
+    (DESIGN.md A1–A5).
+
+    - {b A1 TSO conflicts}: BPFS detects conflicts by recording the
+      last thread to persist to each line, so it misses races whose
+      first access is a load and enforces TSO rather than SC conflict
+      ordering (Section 5.2).
+    - {b A2 persistent-space-only conflicts}: BPFS orders persists only
+      on conflicts to the persistent address space; tracking volatile
+      conflicts too is what lets volatile locks order persists across
+      epochs.
+    - {b A3 finite persist buffers}: the critical-path methodology
+      assumes unbounded buffering (Section 3); this ablation bounds
+      in-flight persists and shows the throughput recovered as depth
+      grows.
+    - {b A4 coalescing}: persist coalescing on/off.
+    - {b A5 queue capacity}: data-segment reuse is what bounds strand
+      persistency's coalescing, so its critical path scales with
+      1/capacity. *)
+
+type comparison = {
+  label : string;
+  baseline : float;
+  variant : float;
+}
+
+val tso_conflicts :
+  ?threads:int -> ?total_inserts:int -> unit -> comparison list
+(** cp/insert, SC conflicts (baseline) vs TSO conflicts (variant), for
+    the epoch-model points on both queue designs. *)
+
+val conflict_spaces :
+  ?threads:int -> ?total_inserts:int -> unit -> comparison list
+(** cp/insert, both-spaces conflicts (baseline) vs persistent-only
+    (variant). *)
+
+val coalescing : ?total_inserts:int -> unit -> comparison list
+(** cp/insert with coalescing (baseline) vs without (variant), per
+    model, CWL 1 thread. *)
+
+type buffer_point = {
+  depth : int;
+  by_model : (string * float) list;  (** model -> inserts/s *)
+}
+
+val buffer_depth :
+  ?total_inserts:int ->
+  ?depths:int list ->
+  ?latency_ns:float ->
+  unit ->
+  buffer_point list
+(** Drain-simulated throughput of CWL/1T per persist-buffer depth. *)
+
+type sync_point = {
+  sync_every : int option;  (** [None] = never sync *)
+  by_model : (string * float) list;  (** model -> inserts/s *)
+}
+
+val persist_sync :
+  ?total_inserts:int ->
+  ?intervals:int option list ->
+  ?latency_ns:float ->
+  unit ->
+  sync_point list
+(** Buffered persistency with persist sync (paper Section 4.1): a sync
+    after every n-th insert stalls execution until outstanding persists
+    drain — the cost of making each insert externally durable before
+    acknowledging it. *)
+
+val render_sync : sync_point list -> string
+
+val capacity :
+  ?capacities:int list -> ?total_inserts:int -> unit -> (int * float) list
+(** Strand cp/insert per data-segment capacity (entries). *)
+
+val render_comparisons : title:string -> comparison list -> string
+val render_buffer : buffer_point list -> string
+val render_capacity : (int * float) list -> string

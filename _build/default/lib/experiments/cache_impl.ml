@@ -1,0 +1,75 @@
+type row = {
+  label : string;
+  persists : int;
+  model_atomic : int;
+  writebacks : int;
+  write_amp : float;
+  conflict_flushes : int;
+  eviction_flushes : int;
+  max_line_wear : int;
+}
+
+let default_geometries =
+  [ ("32KiB", Cachesim.Cache.default_geometry);
+    ("2KiB", { Cachesim.Cache.sets = 8; ways = 4; line_bytes = 64 }) ]
+
+let run ?total_inserts ?(threads = 4) ?(geometries = default_geometries) () =
+  List.concat_map
+    (fun design ->
+      let params =
+        Run.queue_params ~design ~threads ?total_inserts Run.epoch_point
+      in
+      let trace = Memsim.Trace.create () in
+      let _ = Workloads.Queue.run params ~sink:(Memsim.Trace.sink trace) in
+      let engine =
+        Persistency.Engine.create (Persistency.Config.make Persistency.Config.Epoch)
+      in
+      Persistency.Engine.observe_trace engine trace;
+      let stored_bytes = 8 * Memsim.Trace.persists trace in
+      List.map
+        (fun (gname, geometry) ->
+          let m = Cachesim.Epoch_hw.run_trace ~geometry trace in
+          { label =
+              Printf.sprintf "%s/%s"
+                (Workloads.Queue.design_name design)
+                gname;
+            persists = m.Cachesim.Epoch_hw.persists;
+            model_atomic = Persistency.Engine.persist_ops engine;
+            writebacks = m.Cachesim.Epoch_hw.writebacks;
+            write_amp =
+              Cachesim.Epoch_hw.write_amplification m
+                ~line_bytes:geometry.Cachesim.Cache.line_bytes ~stored_bytes;
+            conflict_flushes = m.Cachesim.Epoch_hw.conflict_flushes;
+            eviction_flushes = m.Cachesim.Epoch_hw.eviction_flushes;
+            max_line_wear = m.Cachesim.Epoch_hw.max_line_wear })
+        geometries)
+    [ Workloads.Queue.Cwl; Workloads.Queue.Tlc ]
+
+let render rows =
+  let table =
+    Report.Table.create
+      ~columns:
+        [ ("Configuration", Report.Table.Left);
+          ("persists", Report.Table.Right);
+          ("model atomic", Report.Table.Right);
+          ("line writebacks", Report.Table.Right);
+          ("write amp", Report.Table.Right);
+          ("conflict fl.", Report.Table.Right);
+          ("eviction fl.", Report.Table.Right);
+          ("max wear", Report.Table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Report.Table.add_row table
+        [ r.label;
+          string_of_int r.persists;
+          string_of_int r.model_atomic;
+          string_of_int r.writebacks;
+          Report.Table.fmt_float ~decimals:2 r.write_amp;
+          string_of_int r.conflict_flushes;
+          string_of_int r.eviction_flushes;
+          string_of_int r.max_line_wear ])
+    rows;
+  Printf.sprintf
+    "Model vs BPFS-style cache implementation (epoch annotation)\n\n%s"
+    (Report.Table.render table)

@@ -1,0 +1,31 @@
+(** Model vs. implementation: the persist-timing engine against the
+    BPFS-style epoch hardware (paper Section 5.2).
+
+    The model counts atomic persists and their ordering critical path;
+    the cache implementation counts actual NVRAM line writebacks and
+    the forced flushes that enforce epoch order.  Comparing them shows
+    the write amplification of line-granularity persistence and how
+    cache capacity changes the picture. *)
+
+type row = {
+  label : string;
+  persists : int;  (** persist store events in the trace *)
+  model_atomic : int;  (** engine's atomic persists after coalescing *)
+  writebacks : int;  (** cache line writebacks to NVRAM *)
+  write_amp : float;  (** writeback bytes / stored bytes *)
+  conflict_flushes : int;
+  eviction_flushes : int;
+  max_line_wear : int;
+}
+
+val run :
+  ?total_inserts:int ->
+  ?threads:int ->
+  ?geometries:(string * Cachesim.Cache.geometry) list ->
+  unit ->
+  row list
+(** Both queue designs under the epoch annotation, for each named cache
+    geometry.  Defaults: experiment scale, 4 threads, an L1-like 32 KiB
+    cache and a stress 2 KiB cache. *)
+
+val render : row list -> string

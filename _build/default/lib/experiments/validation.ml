@@ -1,0 +1,90 @@
+type sample = {
+  label : string;
+  histogram : Pstats.Histogram.t;
+}
+
+type t = {
+  samples : sample list;
+  max_tvd : float;
+}
+
+let insert_distances order =
+  let last : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.concat
+    (List.mapi
+       (fun pos tid ->
+         let out =
+           match Hashtbl.find_opt last tid with
+           | Some prev -> [ (tid, pos - prev - 1) ]
+           | None -> []
+         in
+         Hashtbl.replace last tid pos;
+         out)
+       order)
+
+let histogram_of order =
+  let h = Pstats.Histogram.create () in
+  List.iter (fun (_, d) -> Pstats.Histogram.add h d) (insert_distances order);
+  h
+
+let run ?(design = Workloads.Queue.Cwl) ?(threads = 4) ?total_inserts
+    ?(seeds = [ 1; 2; 3; 4; 5 ]) () =
+  let sample label policy seed =
+    let params =
+      { (Run.queue_params ~design ~threads ?total_inserts Run.epoch_point) with
+        Workloads.Queue.policy;
+        seed }
+    in
+    let m = Run.analyze params (Persistency.Config.make Persistency.Config.Epoch) in
+    { label; histogram = histogram_of m.Run.insert_order }
+  in
+  let random_samples =
+    List.map
+      (fun seed ->
+        sample (Printf.sprintf "random(%d)" seed) (Memsim.Machine.Random seed) seed)
+      seeds
+  in
+  let rr = sample "round-robin" Memsim.Machine.Round_robin 0 in
+  let max_tvd =
+    List.fold_left
+      (fun acc a ->
+        List.fold_left
+          (fun acc b ->
+            if a.label < b.label then
+              Float.max acc
+                (Pstats.Histogram.total_variation_distance a.histogram
+                   b.histogram)
+            else acc)
+          acc random_samples)
+      0. random_samples
+  in
+  { samples = rr :: random_samples; max_tvd }
+
+let render t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "Insert-distance distributions across schedules (Section 7 validation)\n\n";
+  List.iter
+    (fun s ->
+      let alist = Pstats.Histogram.to_alist s.histogram in
+      let top =
+        List.filteri (fun i _ -> i < 8)
+          (List.sort (fun (_, a) (_, b) -> compare b a) alist)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s n=%d  top distances: %s\n" s.label
+           (Pstats.Histogram.count s.histogram)
+           (String.concat ", "
+              (List.map
+                 (fun (v, c) ->
+                   Printf.sprintf "%d (%.1f%%)" v
+                     (100. *. float_of_int c
+                     /. float_of_int (Pstats.Histogram.count s.histogram)))
+                 top)));
+      ())
+    t.samples;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nMax total-variation distance between seeded random schedules: %.4f\n"
+       t.max_tvd);
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Section 7 "Performance Validation" — insert-distance distributions.
+
+    The paper checks that tracing does not perturb thread interleaving
+    by comparing the distribution of {e insert distance} (how many
+    inserts other threads completed between a thread's consecutive
+    inserts) between native and instrumented runs.  Our analogue:
+    the distribution must be stable across scheduler policies and
+    seeds, i.e. the simulated interleaving is not an artifact of one
+    schedule. *)
+
+type sample = {
+  label : string;
+  histogram : Pstats.Histogram.t;
+}
+
+type t = {
+  samples : sample list;
+  max_tvd : float;
+      (** largest total-variation distance between any two seeded
+          random schedules *)
+}
+
+val insert_distances : int list -> (int * int) list
+(** [(tid, distance)] for each consecutive insert pair per thread in a
+    commit-order thread-id list. *)
+
+val run :
+  ?design:Workloads.Queue.design ->
+  ?threads:int ->
+  ?total_inserts:int ->
+  ?seeds:int list ->
+  unit ->
+  t
+(** Defaults: CWL, 4 threads, experiment default insert count, random
+    schedules seeded 1–5 plus round-robin. *)
+
+val render : t -> string

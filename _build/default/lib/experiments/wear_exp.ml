@@ -1,0 +1,50 @@
+type row = {
+  label : string;
+  coalescing : Nvram.Wear.t;
+  no_coalescing : Nvram.Wear.t;
+}
+
+let wear_of params cfg =
+  let _, graph, _ = Run.analyze_with_graph params cfg in
+  Nvram.Wear.of_graph graph
+
+let run ?(total_inserts = 2000) () =
+  List.map
+    (fun (point : Run.model_point) ->
+      let params = Run.queue_params ~total_inserts point in
+      { label = point.Run.label;
+        coalescing = wear_of params (Persistency.Config.make point.Run.mode);
+        no_coalescing =
+          wear_of params
+            (Persistency.Config.make ~coalescing:false point.Run.mode) })
+    Run.table1_models
+
+let render rows =
+  let table =
+    Report.Table.create
+      ~columns:
+        [ ("Model", Report.Table.Left);
+          ("writes", Report.Table.Right);
+          ("hottest block", Report.Table.Right);
+          ("skew", Report.Table.Right);
+          ("writes (no coalesce)", Report.Table.Right);
+          ("saved by coalescing", Report.Table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      let saved =
+        1.
+        -. (float_of_int r.coalescing.Nvram.Wear.total_writes
+           /. float_of_int r.no_coalescing.Nvram.Wear.total_writes)
+      in
+      Report.Table.add_row table
+        [ r.label;
+          string_of_int r.coalescing.Nvram.Wear.total_writes;
+          string_of_int r.coalescing.Nvram.Wear.max_writes;
+          Printf.sprintf "%.1fx" r.coalescing.Nvram.Wear.skew;
+          string_of_int r.no_coalescing.Nvram.Wear.total_writes;
+          Printf.sprintf "%.0f%%" (100. *. saved) ])
+    rows;
+  Printf.sprintf
+    "NVRAM wear by model (CWL, 1 thread; 8-byte blocks)\n\n%s"
+    (Report.Table.render table)

@@ -1,0 +1,19 @@
+(** NVRAM wear per persistency model (paper Sections 2.1 and 3).
+
+    Counts the atomic NVRAM writes each model issues for the same
+    workload, with and without persist coalescing — quantifying the
+    paper's remark that coalescing "reduces the total number of NVRAM
+    writes, which may be important for NVRAM devices that are subject
+    to wear". *)
+
+type row = {
+  label : string;
+  coalescing : Nvram.Wear.t;
+  no_coalescing : Nvram.Wear.t;
+}
+
+val run : ?total_inserts:int -> unit -> row list
+(** CWL, 1 thread, every model point; graph-recording runs, so the
+    default scale is modest (2 000 inserts). *)
+
+val render : row list -> string

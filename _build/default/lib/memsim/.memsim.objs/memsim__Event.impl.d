@@ -1,0 +1,1 @@
+lib/memsim/event.ml: Addr Format Int64 Printf String

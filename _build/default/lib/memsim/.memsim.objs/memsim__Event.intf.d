@@ -1,0 +1,1 @@
+lib/memsim/event.mli: Addr Format

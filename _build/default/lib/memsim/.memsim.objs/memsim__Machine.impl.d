@@ -1,0 +1,1 @@
+lib/memsim/machine.ml: Addr Bytes Effect Event Hashtbl Int64 List Memory Queue Random Vec

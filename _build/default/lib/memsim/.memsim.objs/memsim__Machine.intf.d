@@ -1,0 +1,1 @@
+lib/memsim/machine.mli: Addr Event Memory

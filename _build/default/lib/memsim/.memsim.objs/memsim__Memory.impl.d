@@ -1,0 +1,1 @@
+lib/memsim/memory.ml: Addr Bytes Hashtbl Int64 List Printf

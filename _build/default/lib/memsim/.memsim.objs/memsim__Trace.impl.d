@@ -1,0 +1,1 @@
+lib/memsim/trace.ml: Event Format Hashtbl String Vec

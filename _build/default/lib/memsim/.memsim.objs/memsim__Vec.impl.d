@@ -1,0 +1,1 @@
+lib/memsim/vec.ml: Array List

@@ -1,0 +1,86 @@
+type kind =
+  | Load
+  | Store
+  | Rmw
+
+type access = {
+  tid : int;
+  addr : int;
+  size : int;
+  value : int64;
+  space : Addr.space;
+}
+
+type t =
+  | Access of kind * access
+  | Persist_barrier of int
+  | New_strand of int
+  | Label of int * string
+
+let tid = function
+  | Access (_, a) -> a.tid
+  | Persist_barrier tid | New_strand tid | Label (tid, _) -> tid
+
+let is_persist = function
+  | Access ((Store | Rmw), a) -> Addr.equal_space a.space Addr.Persistent
+  | Access (Load, _) | Persist_barrier _ | New_strand _ | Label _ -> false
+
+let equal_kind a b =
+  match a, b with
+  | Load, Load | Store, Store | Rmw, Rmw -> true
+  | (Load | Store | Rmw), _ -> false
+
+let equal a b =
+  match a, b with
+  | Access (k1, a1), Access (k2, a2) ->
+    equal_kind k1 k2
+    && a1.tid = a2.tid && a1.addr = a2.addr && a1.size = a2.size
+    && Int64.equal a1.value a2.value
+    && Addr.equal_space a1.space a2.space
+  | Persist_barrier t1, Persist_barrier t2 -> t1 = t2
+  | New_strand t1, New_strand t2 -> t1 = t2
+  | Label (t1, s1), Label (t2, s2) -> t1 = t2 && String.equal s1 s2
+  | (Access _ | Persist_barrier _ | New_strand _ | Label _), _ -> false
+
+let kind_name = function
+  | Load -> "ld"
+  | Store -> "st"
+  | Rmw -> "rmw"
+
+let kind_of_name = function
+  | "ld" -> Load
+  | "st" -> Store
+  | "rmw" -> Rmw
+  | s -> failwith ("Event.kind_of_name: " ^ s)
+
+let pp ppf = function
+  | Access (k, a) ->
+    Format.fprintf ppf "@[t%d %s %a/%d = %Ld@]" a.tid (kind_name k) Addr.pp
+      a.addr a.size a.value
+  | Persist_barrier tid -> Format.fprintf ppf "t%d pbarrier" tid
+  | New_strand tid -> Format.fprintf ppf "t%d newstrand" tid
+  | Label (tid, s) -> Format.fprintf ppf "t%d label %s" tid s
+
+let to_string = function
+  | Access (k, a) ->
+    Printf.sprintf "%s %d %d %d %Ld" (kind_name k) a.tid a.addr a.size a.value
+  | Persist_barrier tid -> Printf.sprintf "pb %d" tid
+  | New_strand tid -> Printf.sprintf "ns %d" tid
+  | Label (tid, s) -> Printf.sprintf "lb %d %s" tid s
+
+let of_string line =
+  match String.split_on_char ' ' line with
+  | [ ("ld" | "st" | "rmw") as k; tid; addr; size; value ] ->
+    let addr = int_of_string addr in
+    Access
+      ( kind_of_name k,
+        { tid = int_of_string tid;
+          addr;
+          size = int_of_string size;
+          value = Int64.of_string value;
+          space = Addr.space_of addr } )
+  | [ "pb"; tid ] -> Persist_barrier (int_of_string tid)
+  | [ "ns"; tid ] -> New_strand (int_of_string tid)
+  | "lb" :: tid :: rest ->
+    Label (int_of_string tid, String.concat " " rest)
+  | _ -> failwith ("Event.of_string: malformed line: " ^ line)

@@ -1,0 +1,46 @@
+(** Memory trace events.
+
+    A trace is the sequence of memory events in the order the machine
+    serialized them.  Because exactly one event executes at a time and
+    each thread's events appear in program order, the trace observes
+    sequential consistency — the same property the paper establishes
+    for its PIN-based tracer (Section 7, "Memory Trace Generation").
+
+    Lock acquires appear as {!kind.Rmw} accesses to the lock word and
+    releases as {!kind.Store} accesses, so synchronization is visible
+    to the persistency analyses purely as conflicting accesses. *)
+
+type kind =
+  | Load
+  | Store
+  | Rmw  (** atomic read-modify-write: conflicts as both load and store *)
+
+type access = {
+  tid : int;
+  addr : int;
+  size : int;  (** bytes, 1..8, never straddling an 8-byte boundary *)
+  value : int64;  (** value stored (or read, for [Load]) *)
+  space : Addr.space;
+}
+
+type t =
+  | Access of kind * access
+  | Persist_barrier of int  (** [PersistBarrier] by thread [tid] *)
+  | New_strand of int  (** [NewStrand] by thread [tid] *)
+  | Label of int * string
+      (** logical operation boundary (e.g. the start of a queue
+          insert); carries no ordering semantics *)
+
+val tid : t -> int
+val is_persist : t -> bool
+(** [is_persist e] is true when [e] writes to the persistent address
+    space, i.e. it generates a persist. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** One-line textual form, parseable by {!of_string}. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}.  @raise Failure on malformed input. *)

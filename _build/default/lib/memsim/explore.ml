@@ -1,0 +1,36 @@
+type outcome = {
+  traces : int;
+  complete : bool;
+}
+
+(* Next leaf in depth-first order: increment the deepest decision that
+   has an untried alternative and drop everything after it. *)
+let next_prefix log =
+  let arr = Array.of_list log in
+  let rec back i =
+    if i < 0 then None
+    else begin
+      let choice, n = arr.(i) in
+      if choice + 1 < n then
+        Some (List.init i (fun j -> fst arr.(j)) @ [ choice + 1 ])
+      else back (i - 1)
+    end
+  in
+  back (Array.length arr - 1)
+
+let run_all ?(limit = 10_000) run =
+  let rec go prefix traces =
+    if traces >= limit then { traces; complete = false }
+    else begin
+      let script = Machine.script ~forced:prefix in
+      run (Machine.Scripted script);
+      let log = Machine.script_choices script in
+      if log = [] then
+        invalid_arg "Explore.run_all: the program made no scheduling decisions";
+      let traces = traces + 1 in
+      match next_prefix log with
+      | None -> { traces; complete = true }
+      | Some prefix -> go prefix traces
+    end
+  in
+  go [] 0

@@ -1,0 +1,28 @@
+(** Systematic exploration of SC interleavings (stateless model
+    checking, depth-first).
+
+    Workload programs are deterministic given the scheduler's
+    decisions, so an interleaving is exactly a sequence of "which
+    runnable thread next" choices.  [run_all] re-executes the program
+    under every such sequence: each run follows a forced prefix and
+    defaults afterwards, records the branching structure it encounters
+    ({!Machine.script_choices}), and the explorer then backtracks to
+    the deepest choice point with an untried alternative.
+
+    Combined with the recovery observer — which enumerates all legal
+    crash states of one trace — this gives exhaustive verification of
+    small recoverable data structures: every interleaving × every crash
+    state (see [test/test_explore.ml]). *)
+
+type outcome = {
+  traces : int;  (** interleavings executed *)
+  complete : bool;  (** false when [limit] stopped the search *)
+}
+
+val run_all :
+  ?limit:int -> (Machine.policy -> unit) -> outcome
+(** [run_all run] calls [run] once per interleaving with a [Scripted]
+    policy; [run] must build a fresh machine with that policy, execute
+    it, and perform its own checks (raising on failure).  Default
+    [limit] is 10_000 executions.
+    @raise Invalid_argument if [run] never consults the policy. *)

@@ -1,0 +1,290 @@
+open Effect
+open Effect.Deep
+
+type script = {
+  mutable forced : int list;
+  mutable log : (int * int) list;  (* reversed (choice, runnable count) *)
+}
+
+let script ~forced = { forced; log = [] }
+let script_choices s = List.rev s.log
+
+type policy =
+  | Round_robin
+  | Random of int
+  | Scripted of script
+
+exception Deadlock of int list
+
+(* A parked continuation waiting for a lock hand-off. *)
+type waiter = Waiter : int * (unit, unit) continuation -> waiter
+
+type lock = {
+  word : int;  (* volatile address of the lock word *)
+  mutable owner : int option;
+  waiters : waiter Queue.t;
+}
+
+type _ op =
+  | Self : int op
+  | Load : { addr : int; size : int } -> int64 op
+  | Store : { addr : int; size : int; value : int64 } -> unit op
+  | Rmw : { addr : int; f : int64 -> int64 } -> int64 op
+  | Persist_barrier : unit op
+  | New_strand : unit op
+  | Label : string -> unit op
+  | Malloc : { space : Addr.space; size : int } -> int op
+  | Free : int -> unit op
+  | Yield : unit op
+  | Lock_op : lock -> unit op
+  | Unlock_op : lock -> unit op
+
+type _ Effect.t += E : 'a op -> 'a Effect.t
+
+type runq =
+  | Fifo of (int * (unit -> unit)) Queue.t
+  | Bag of (int * (unit -> unit)) Vec.t * Random.State.t
+  | Script_bag of (int * (unit -> unit)) Vec.t * script
+
+type t = {
+  mem : Memory.t;
+  runq : runq;
+  mutable sink : Event.t -> unit;
+  mutable next_tid : int;
+  mutable events : int;
+  blocked : (int, unit) Hashtbl.t;
+}
+
+let create ?(policy = Round_robin) ~memory () =
+  let runq =
+    match policy with
+    | Round_robin -> Fifo (Queue.create ())
+    | Random seed -> Bag (Vec.create (), Random.State.make [| seed |])
+    | Scripted s -> Script_bag (Vec.create (), s)
+  in
+  { mem = memory;
+    runq;
+    sink = ignore;
+    next_tid = 0;
+    events = 0;
+    blocked = Hashtbl.create 8 }
+
+let memory t = t.mem
+let set_sink t sink = t.sink <- sink
+let event_count t = t.events
+
+let schedule t tid thunk =
+  match t.runq with
+  | Fifo q -> Queue.push (tid, thunk) q
+  | Bag (v, _) | Script_bag (v, _) -> Vec.push v (tid, thunk)
+
+let take_runnable t =
+  match t.runq with
+  | Fifo q -> Queue.take_opt q
+  | Bag (v, rng) ->
+    if Vec.is_empty v then None
+    else Some (Vec.swap_remove v (Random.State.int rng (Vec.length v)))
+  | Script_bag (v, s) ->
+    if Vec.is_empty v then None
+    else begin
+      let n = Vec.length v in
+      let idx =
+        match s.forced with
+        | i :: rest ->
+          s.forced <- rest;
+          if i < 0 || i >= n then
+            invalid_arg "Machine: script choice out of range";
+          i
+        | [] -> 0
+      in
+      s.log <- (idx, n) :: s.log;
+      Some (Vec.swap_remove v idx)
+    end
+
+let emit t ev =
+  t.events <- t.events + 1;
+  t.sink ev
+
+let emit_meta t ev = t.sink ev
+
+(* Grant [l] to [tid]: update the lock word and emit the acquire RMW
+   event that makes the acquisition visible to conflict analyses. *)
+let grant t tid l =
+  l.owner <- Some tid;
+  Memory.store t.mem ~addr:l.word ~size:8 1L;
+  emit t
+    (Event.Access
+       ( Event.Rmw,
+         { tid; addr = l.word; size = 8; value = 1L; space = Addr.Volatile } ))
+
+let exec : type a. t -> int -> a op -> a =
+ fun t tid op ->
+  match op with
+  | Self -> tid
+  | Load { addr; size } ->
+    let value = Memory.load t.mem ~addr ~size in
+    emit t
+      (Event.Access
+         (Event.Load, { tid; addr; size; value; space = Addr.space_of addr }));
+    value
+  | Store { addr; size; value } ->
+    Memory.store t.mem ~addr ~size value;
+    emit t
+      (Event.Access
+         (Event.Store, { tid; addr; size; value; space = Addr.space_of addr }));
+    ()
+  | Rmw { addr; f } ->
+    let old = Memory.load t.mem ~addr ~size:8 in
+    let value = f old in
+    Memory.store t.mem ~addr ~size:8 value;
+    emit t
+      (Event.Access
+         (Event.Rmw, { tid; addr; size = 8; value; space = Addr.space_of addr }));
+    old
+  | Persist_barrier ->
+    emit_meta t (Event.Persist_barrier tid);
+    ()
+  | New_strand ->
+    emit_meta t (Event.New_strand tid);
+    ()
+  | Label s ->
+    emit_meta t (Event.Label (tid, s));
+    ()
+  | Malloc { space; size } -> Memory.alloc t.mem space size
+  | Free addr -> Memory.free t.mem addr
+  | Yield -> ()
+  | Lock_op _ -> assert false  (* handled in [dispatch] *)
+  | Unlock_op l ->
+    (match l.owner with
+    | Some owner when owner = tid -> ()
+    | Some _ | None ->
+      invalid_arg "Machine.unlock: calling thread does not hold the lock");
+    Memory.store t.mem ~addr:l.word ~size:8 0L;
+    emit t
+      (Event.Access
+         ( Event.Store,
+           { tid; addr = l.word; size = 8; value = 0L; space = Addr.Volatile }
+         ));
+    (match Queue.take_opt l.waiters with
+    | Some (Waiter (tid', k')) ->
+      Hashtbl.remove t.blocked tid';
+      grant t tid' l;
+      schedule t tid' (fun () -> continue k' ())
+    | None -> l.owner <- None);
+    ()
+
+let dispatch : type a. t -> int -> a op -> (a, unit) continuation -> unit =
+ fun t tid op k ->
+  match op with
+  | Lock_op l ->
+    schedule t tid (fun () ->
+        match l.owner with
+        | None ->
+          grant t tid l;
+          continue k ()
+        | Some owner when owner = tid ->
+          discontinue k
+            (Invalid_argument "Machine.lock: lock is not reentrant")
+        | Some _ ->
+          Hashtbl.replace t.blocked tid ();
+          Queue.push (Waiter (tid, k)) l.waiters)
+  (* Operations that touch no shared state are not scheduling points:
+     reordering them against other threads' events is unobservable, so
+     executing them inline is a sound partial-order reduction — it
+     keeps systematic exploration (Explore) over memory accesses only. *)
+  | Persist_barrier | New_strand | Label _ | Malloc _ | Free _ ->
+    continue k (exec t tid op)
+  | Self | Load _ | Store _ | Rmw _ | Yield | Unlock_op _ ->
+    schedule t tid (fun () -> continue k (exec t tid op))
+
+let spawn t body =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let start () =
+    match_with body ()
+      { retc = (fun () -> ());
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | E op ->
+              Some (fun (k : (a, unit) continuation) -> dispatch t tid op k)
+            | _ -> None) }
+  in
+  schedule t tid start;
+  tid
+
+let run t =
+  let rec loop () =
+    match take_runnable t with
+    | Some (_tid, thunk) ->
+      thunk ();
+      loop ()
+    | None ->
+      if Hashtbl.length t.blocked > 0 then
+        raise (Deadlock (Hashtbl.fold (fun tid () acc -> tid :: acc) t.blocked []))
+  in
+  loop ()
+
+(* Thread-context wrappers. *)
+
+let self () = perform (E Self)
+let load addr = perform (E (Load { addr; size = 8 }))
+let load_sz ~size addr = perform (E (Load { addr; size }))
+let store addr value = perform (E (Store { addr; size = 8; value }))
+let store_sz ~size addr value = perform (E (Store { addr; size; value }))
+let rmw addr f = perform (E (Rmw { addr; f }))
+let fetch_add addr n = rmw addr (fun v -> Int64.add v n)
+let persist_barrier () = perform (E Persist_barrier)
+let new_strand () = perform (E New_strand)
+let label s = perform (E (Label s))
+let malloc space size = perform (E (Malloc { space; size }))
+let mfree addr = perform (E (Free addr))
+let yield () = perform (E Yield)
+let lock l = perform (E (Lock_op l))
+let unlock l = perform (E (Unlock_op l))
+
+let mutex t =
+  let word = Memory.alloc t.mem Addr.Volatile 8 in
+  { word; owner = None; waiters = Queue.create () }
+
+(* [COPY]: maximal aligned word stores.  [addr] must be 8-byte
+   aligned; the tail is stored with progressively smaller accesses. *)
+let store_bytes addr data =
+  if not (Addr.is_aligned ~size:8 addr) then
+    invalid_arg "Machine.store_bytes: address must be 8-byte aligned";
+  let n = Bytes.length data in
+  let off = ref 0 in
+  while n - !off >= 8 do
+    store (addr + !off) (Bytes.get_int64_le data !off);
+    off := !off + 8
+  done;
+  let store_tail size get =
+    if n - !off >= size then begin
+      store_sz ~size (addr + !off) (get data !off);
+      off := !off + size
+    end
+  in
+  store_tail 4 (fun b o -> Int64.of_int32 (Bytes.get_int32_le b o));
+  store_tail 2 (fun b o -> Int64.of_int (Bytes.get_uint16_le b o));
+  store_tail 1 (fun b o -> Int64.of_int (Bytes.get_uint8 b o))
+
+let load_bytes addr n =
+  if not (Addr.is_aligned ~size:8 addr) then
+    invalid_arg "Machine.load_bytes: address must be 8-byte aligned";
+  let out = Bytes.create n in
+  let off = ref 0 in
+  while n - !off >= 8 do
+    Bytes.set_int64_le out !off (load (addr + !off));
+    off := !off + 8
+  done;
+  let load_tail size set =
+    if n - !off >= size then begin
+      set out !off (load_sz ~size (addr + !off));
+      off := !off + size
+    end
+  in
+  load_tail 4 (fun b o v -> Bytes.set_int32_le b o (Int64.to_int32 v));
+  load_tail 2 (fun b o v -> Bytes.set_uint16_le b o (Int64.to_int v land 0xffff));
+  load_tail 1 (fun b o v -> Bytes.set_uint8 b o (Int64.to_int v land 0xff));
+  out

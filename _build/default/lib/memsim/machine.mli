@@ -1,0 +1,119 @@
+(** Sequentially consistent multithreaded execution engine.
+
+    Workloads are ordinary OCaml functions that access simulated memory
+    through the thread-context operations below ({!load}, {!store},
+    {!lock}, {!persist_barrier}, ...).  Each operation is an effect:
+    the machine serializes exactly one operation at a time and hands
+    control to the scheduler between operations, so the emitted event
+    trace is a legal SC interleaving of the thread programs — the same
+    artifact the paper obtains by tracing a pthread program under PIN
+    with a lock bank providing analysis atomicity (Section 7).
+
+    Locks are abstract queue locks: acquisition is an atomic
+    read-modify-write event on the lock word; contended threads park
+    and are handed the lock in FIFO order on release (store event on
+    the lock word).  This preserves both the conflict footprint and the
+    fairness of the MCS locks used in the paper.
+
+    Thread-context operations may only be called from inside a function
+    passed to {!spawn}, during {!run}. *)
+
+type t
+
+type lock
+
+type script
+(** Recording of the scheduler's choice points, for systematic
+    exploration of interleavings (see {!Explore}). *)
+
+type policy =
+  | Round_robin  (** rotate threads after every operation *)
+  | Random of int  (** pick a runnable thread uniformly, seeded *)
+  | Scripted of script
+      (** follow a forced choice prefix, then first-runnable; every
+          decision is recorded in the script *)
+
+val script : forced:int list -> script
+(** A script whose first decisions are the given runnable indices. *)
+
+val script_choices : script -> (int * int) list
+(** After a run: each scheduling decision as [(chosen index, number of
+    runnable threads)], in execution order.  Decisions with a single
+    runnable thread are recorded too. *)
+
+exception Deadlock of int list
+(** Raised by {!run} when unfinished threads remain but all are parked
+    on locks; carries the blocked thread ids. *)
+
+val create : ?policy:policy -> memory:Memory.t -> unit -> t
+(** Default policy is [Round_robin]. *)
+
+val memory : t -> Memory.t
+
+val set_sink : t -> (Event.t -> unit) -> unit
+(** Install the trace consumer.  Every memory event is passed to the
+    sink in serialization order.  Default: drop events. *)
+
+val spawn : t -> (unit -> unit) -> int
+(** Register a thread; returns its thread id (dense, from 0).  Threads
+    do not start executing until {!run}. *)
+
+val run : t -> unit
+(** Execute all spawned threads to completion, interleaving per the
+    policy.  May be called repeatedly ([spawn] then [run] in phases,
+    e.g. an initialization thread followed by worker threads).
+    @raise Deadlock on a lock cycle or orphaned waiter. *)
+
+val event_count : t -> int
+(** Memory events emitted so far (excludes labels). *)
+
+(** {1 Thread-context operations} *)
+
+val self : unit -> int
+(** Id of the calling thread. *)
+
+val load : int -> int64
+(** 8-byte load. *)
+
+val store : int -> int64 -> unit
+(** 8-byte store. *)
+
+val load_sz : size:int -> int -> int64
+val store_sz : size:int -> int -> int64 -> unit
+
+val rmw : int -> (int64 -> int64) -> int64
+(** Atomic read-modify-write; returns the {e old} value. *)
+
+val fetch_add : int -> int64 -> int64
+
+val persist_barrier : unit -> unit
+(** Emit a [PersistBarrier] (epoch and strand persistency). *)
+
+val new_strand : unit -> unit
+(** Emit a [NewStrand] (strand persistency). *)
+
+val label : string -> unit
+(** Mark a logical operation boundary in the trace. *)
+
+val malloc : Addr.space -> int -> int
+val mfree : int -> unit
+
+val yield : unit -> unit
+(** Scheduling point with no memory event. *)
+
+val mutex : t -> lock
+(** Create a lock; allocates its lock word in volatile space.  Must be
+    called outside thread context (during setup). *)
+
+val lock : lock -> unit
+val unlock : lock -> unit
+(** @raise Invalid_argument when the caller does not hold the lock. *)
+
+val store_bytes : int -> bytes -> unit
+(** Store a byte string starting at an 8-byte aligned address,
+    decomposed into maximal aligned word stores — this is the [COPY]
+    primitive of the paper's queue pseudo-code; every constituent store
+    to persistent space is a persist. *)
+
+val load_bytes : int -> int -> bytes
+(** [load_bytes addr n] reads [n] bytes via aligned word loads. *)

@@ -1,0 +1,1 @@
+lib/nvram/device.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/nvram/drain.ml: Array Float Option Persistency

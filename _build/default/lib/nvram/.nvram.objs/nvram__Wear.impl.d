@@ -1,0 +1,1 @@
+lib/nvram/wear.ml: Format Hashtbl Memsim Persistency

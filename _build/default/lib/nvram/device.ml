@@ -1,0 +1,34 @@
+type technology =
+  | Dram_like
+  | Stt_ram
+  | Pcm
+  | Mlc_pcm
+  | Custom_ns of float
+
+let write_latency_ns = function
+  | Dram_like -> 15.
+  | Stt_ram -> 150.
+  | Pcm -> 500.
+  | Mlc_pcm -> 1000.
+  | Custom_ns ns -> ns
+
+let name = function
+  | Dram_like -> "dram-like"
+  | Stt_ram -> "stt-ram"
+  | Pcm -> "pcm"
+  | Mlc_pcm -> "mlc-pcm"
+  | Custom_ns ns -> Printf.sprintf "custom-%.0fns" ns
+
+let of_name = function
+  | "dram-like" -> Some Dram_like
+  | "stt-ram" -> Some Stt_ram
+  | "pcm" -> Some Pcm
+  | "mlc-pcm" -> Some Mlc_pcm
+  | _ -> None
+
+let all = [ Dram_like; Stt_ram; Pcm; Mlc_pcm ]
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%.0f ns)" (name t) (write_latency_ns t)
+
+let atomic_persist_bytes = 8

@@ -1,0 +1,25 @@
+(** NVRAM device characteristics.
+
+    The paper abstracts the memory system to a fixed persist latency
+    with infinite bandwidth and banks (Section 7); persist latency is
+    the only device parameter the critical-path methodology needs.
+    Technology presets follow the ranges in Section 2.1 — NVRAM writes
+    take up to 1 µs depending on cell technology and the use of
+    multi-level cells; the paper's headline evaluations use 500 ns. *)
+
+type technology =
+  | Dram_like  (** 15 ns: a DRAM-class write, the paper's lower bound *)
+  | Stt_ram  (** 150 ns: spin-transfer torque memory *)
+  | Pcm  (** 500 ns: single-level-cell phase change memory *)
+  | Mlc_pcm  (** 1000 ns: multi-level-cell PCM with iterative writes *)
+  | Custom_ns of float
+
+val write_latency_ns : technology -> float
+val name : technology -> string
+val of_name : string -> technology option
+val all : technology list
+val pp : Format.formatter -> technology -> unit
+
+val atomic_persist_bytes : int
+(** Minimum atomic persist granularity all models guarantee (8 bytes,
+    pointer-sized, as in BPFS and this paper). *)

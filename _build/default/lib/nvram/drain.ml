@@ -1,0 +1,121 @@
+module Pg = Persistency.Persist_graph
+
+type result = {
+  total_ns : float;
+  emit_stall_ns : float;
+  ops_per_sec : float;
+}
+
+(* A binary min-heap of completion times, for buffer occupancy. *)
+module Heap = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create () = { data = Array.make 16 0.; len = 0 }
+
+  let push h x =
+    if h.len = Array.length h.data then begin
+      let data = Array.make (2 * h.len) 0. in
+      Array.blit h.data 0 data 0 h.len;
+      h.data <- data
+    end;
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    h.data.(!i) <- x;
+    while !i > 0 && h.data.((!i - 1) / 2) > h.data.(!i) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.data.(p) in
+      h.data.(p) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := p
+    done
+
+  let pop_min h =
+    if h.len = 0 then invalid_arg "Heap.pop_min: empty";
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    h.data.(0) <- h.data.(h.len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && h.data.(l) < h.data.(!smallest) then smallest := l;
+      if r < h.len && h.data.(r) < h.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.data.(!i) in
+        h.data.(!i) <- h.data.(!smallest);
+        h.data.(!smallest) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+
+  let size h = h.len
+end
+
+let simulate ?sync_every g ~ops ~insn_ns_per_op ~latency_ns ~depth =
+  if depth < 1 then invalid_arg "Drain.simulate: depth must be >= 1";
+  (match sync_every with
+  | Some k when k <= 0 -> invalid_arg "Drain.simulate: sync_every must be > 0"
+  | Some _ | None -> ());
+  let n = Pg.node_count g in
+  if n = 0 then
+    { total_ns = float_of_int ops *. insn_ns_per_op;
+      emit_stall_ns = 0.;
+      ops_per_sec = 1e9 /. insn_ns_per_op }
+  else begin
+    let completion = Array.make n 0. in
+    let in_flight = Heap.create () in
+    let gap = float_of_int ops *. insn_ns_per_op /. float_of_int n in
+    let clock = ref 0. in
+    let stall = ref 0. in
+    let makespan = ref 0. in
+    (* persist syncs, expressed in persist-node positions *)
+    let sync_gap =
+      match sync_every with
+      | Some k -> Some (float_of_int (k * n) /. float_of_int ops)
+      | None -> None
+    in
+    let next_sync = ref (Option.value ~default:infinity sync_gap) in
+    for id = 0 to n - 1 do
+      let node = Pg.get g id in
+      (* A pending persist sync: execution waits for every outstanding
+         persist to drain before emitting past the sync point. *)
+      if float_of_int id >= !next_sync then begin
+        while Heap.size in_flight > 0 do
+          let retire = Heap.pop_min in_flight in
+          if retire > !clock then begin
+            stall := !stall +. (retire -. !clock);
+            clock := retire
+          end
+        done;
+        (match sync_gap with
+        | Some gap_nodes -> next_sync := !next_sync +. gap_nodes
+        | None -> ())
+      end;
+      (* Native emission point for this persist. *)
+      let ready = float_of_int (id + 1) *. gap in
+      clock := Float.max !clock ready;
+      (* A full buffer stalls execution until a persist retires. *)
+      while Heap.size in_flight >= depth do
+        let retire = Heap.pop_min in_flight in
+        if retire > !clock then begin
+          stall := !stall +. (retire -. !clock);
+          clock := retire
+        end
+      done;
+      let dep_done =
+        Persistency.Iset.fold
+          (fun d acc -> Float.max acc completion.(d))
+          node.Pg.deps 0.
+      in
+      let done_at = Float.max !clock dep_done +. latency_ns in
+      completion.(id) <- done_at;
+      Heap.push in_flight done_at;
+      if done_at > !makespan then makespan := done_at
+    done;
+    { total_ns = !makespan;
+      emit_stall_ns = !stall;
+      ops_per_sec = float_of_int ops /. (!makespan *. 1e-9) }
+  end

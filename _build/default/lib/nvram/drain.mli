@@ -1,0 +1,38 @@
+(** Finite persist-buffer drain simulation (buffered strict persistency
+    and its relaxed analogues, paper Sections 3 and 4.1).
+
+    The critical-path methodology assumes unbounded buffering.  This
+    discrete-event simulation bounds the number of in-flight persists:
+    execution emits atomic persists at the native instruction rate and
+    stalls when the buffer is full; a persist completes one latency
+    after it is emitted and after all its dependences complete (banks
+    and bandwidth remain infinite).  With [depth = max_int] the model
+    degenerates to the critical-path bound. *)
+
+type result = {
+  total_ns : float;  (** time for the last persist to complete *)
+  emit_stall_ns : float;  (** execution stall due to a full buffer *)
+  ops_per_sec : float;  (** [ops] / makespan *)
+}
+
+val simulate :
+  ?sync_every:int ->
+  Persistency.Persist_graph.t ->
+  ops:int ->
+  insn_ns_per_op:float ->
+  latency_ns:float ->
+  depth:int ->
+  result
+(** Nodes are emitted in creation order (consistent with SC store
+    order); emission times spread the [ops] operations' native
+    execution uniformly over the persists they generate.  A node
+    coalesced later than its first write is treated as emitted at
+    first write — an optimistic approximation noted in DESIGN.md.
+
+    [sync_every] models the paper's {e persist sync} (Section 4.1): a
+    synchronization point after every n-th operation stalls execution
+    until every outstanding persist has drained — the primitive that
+    orders persists with non-persistent but visible side effects, e.g.
+    acknowledging a request only once its queue entry is durable.
+
+    @raise Invalid_argument when [depth < 1] or [sync_every <= 0]. *)

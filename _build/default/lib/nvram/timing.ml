@@ -1,0 +1,23 @@
+type t = {
+  ops : int;
+  critical_path : int;
+  insn_ns_per_op : float;
+  persist_latency_ns : float;
+}
+
+let persist_bound_rate t =
+  if t.critical_path = 0 then Float.infinity
+  else
+    float_of_int t.ops
+    /. (float_of_int t.critical_path *. t.persist_latency_ns *. 1e-9)
+
+let instruction_rate t = 1e9 /. t.insn_ns_per_op
+
+let achievable_rate t = Float.min (persist_bound_rate t) (instruction_rate t)
+
+let normalized t = persist_bound_rate t /. instruction_rate t
+
+let persist_bound t = normalized t < 1.
+
+let break_even_latency_ns ~cp_per_op ~insn_ns_per_op =
+  if cp_per_op <= 0. then Float.infinity else insn_ns_per_op /. cp_per_op

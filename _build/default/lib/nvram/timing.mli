@@ -1,0 +1,36 @@
+(** Critical path → throughput conversion (paper Section 8).
+
+    With unbounded persist buffering, execution proceeds at the lower
+    of the native instruction execution rate and the persist-bound
+    rate: persists drain one critical-path level per persist latency,
+    so [ops] operations whose trace has persist critical path [cp]
+    complete in no less than [cp * latency]. *)
+
+type t = {
+  ops : int;  (** logical operations (queue inserts) performed *)
+  critical_path : int;
+  insn_ns_per_op : float;  (** native execution time per operation *)
+  persist_latency_ns : float;
+}
+
+val persist_bound_rate : t -> float
+(** Operations per second permitted by persist ordering constraints
+    alone ([infinity] when the trace has no persists). *)
+
+val instruction_rate : t -> float
+(** Operations per second of the non-recoverable (native) execution. *)
+
+val achievable_rate : t -> float
+(** [min persist_bound_rate instruction_rate]. *)
+
+val normalized : t -> float
+(** Persist-bound rate normalized to instruction rate — the quantity
+    reported in the paper's Table 1.  Values above 1 mean the workload
+    runs at native speed; below 1 it is persist-bound. *)
+
+val persist_bound : t -> bool
+(** True when [normalized t < 1]. *)
+
+val break_even_latency_ns : cp_per_op:float -> insn_ns_per_op:float -> float
+(** Persist latency at which the persist-bound rate equals the
+    instruction rate (the knees of the paper's Figure 3). *)

@@ -1,0 +1,1 @@
+lib/pstats/histogram.ml: Float Format Hashtbl List

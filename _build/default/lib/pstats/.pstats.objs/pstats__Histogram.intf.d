@@ -1,0 +1,1 @@
+lib/pstats/histogram.mli: Format

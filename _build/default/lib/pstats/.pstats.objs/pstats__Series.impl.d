@@ -1,0 +1,1 @@
+lib/pstats/series.ml: Array Float Fun List Option

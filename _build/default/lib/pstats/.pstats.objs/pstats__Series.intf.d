@@ -1,0 +1,1 @@
+lib/pstats/series.mli:

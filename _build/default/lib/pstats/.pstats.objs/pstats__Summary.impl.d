@@ -1,0 +1,1 @@
+lib/pstats/summary.ml: Float Format List

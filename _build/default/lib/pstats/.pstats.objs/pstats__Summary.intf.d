@@ -1,0 +1,1 @@
+lib/pstats/summary.mli: Format

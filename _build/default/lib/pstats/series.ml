@@ -1,0 +1,66 @@
+type t = { xs : float array; ys : float array }
+
+let of_points pts =
+  if pts = [] then invalid_arg "Series.of_points: empty";
+  List.iter
+    (fun (x, _) ->
+      if not (Float.is_finite x) then
+        invalid_arg "Series.of_points: non-finite x")
+    pts;
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> compare a b) pts in
+  (* keep the last y for duplicate x *)
+  let dedup =
+    List.fold_left
+      (fun acc (x, y) ->
+        match acc with
+        | (x', _) :: rest when x' = x -> (x, y) :: rest
+        | _ -> (x, y) :: acc)
+      [] sorted
+    |> List.rev
+  in
+  { xs = Array.of_list (List.map fst dedup);
+    ys = Array.of_list (List.map snd dedup) }
+
+let points t = Array.to_list (Array.map2 (fun x y -> (x, y)) t.xs t.ys)
+let length t = Array.length t.xs
+
+let eval t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then t.ys.(0)
+  else if x >= t.xs.(n - 1) then t.ys.(n - 1)
+  else begin
+    (* find the segment by binary search *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    let x0 = t.xs.(!lo) and x1 = t.xs.(!hi) in
+    let y0 = t.ys.(!lo) and y1 = t.ys.(!hi) in
+    y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
+  end
+
+let crossing_with ~fx t ~level =
+  let n = Array.length t.xs in
+  let rec go i =
+    if i >= n - 1 then None
+    else begin
+      let y0 = t.ys.(i) and y1 = t.ys.(i + 1) in
+      if (y0 -. level) *. (y1 -. level) <= 0. && y0 <> y1 then begin
+        let x0 = fx t.xs.(i) and x1 = fx t.xs.(i + 1) in
+        Some (x0 +. ((x1 -. x0) *. (level -. y0) /. (y1 -. y0)))
+      end
+      else if y0 = level then Some (fx t.xs.(i))
+      else go (i + 1)
+    end
+  in
+  go 0
+
+let crossing t ~level = crossing_with ~fx:Fun.id t ~level
+
+let crossing_log t ~level =
+  Array.iter
+    (fun x ->
+      if x <= 0. then invalid_arg "Series.crossing_log: non-positive x")
+    t.xs;
+  Option.map exp (crossing_with ~fx:log t ~level)

@@ -1,0 +1,26 @@
+(** Sampled (x, y) curves: interpolation and crossing detection.
+
+    Used to locate the knees of Figure 3 empirically: the break-even
+    persist latency is where the persist-bound throughput curve crosses
+    the instruction-rate line. *)
+
+type t
+
+val of_points : (float * float) list -> t
+(** Sorted by x; duplicate x keeps the last y.
+    @raise Invalid_argument on an empty list or non-finite x. *)
+
+val points : t -> (float * float) list
+val length : t -> int
+
+val eval : t -> float -> float
+(** Piecewise-linear interpolation; clamps outside the domain. *)
+
+val crossing : t -> level:float -> float option
+(** Smallest x at which the curve crosses [level] (linear interpolation
+    within the bracketing segment); [None] when it never does. *)
+
+val crossing_log : t -> level:float -> float option
+(** Like {!crossing} but interpolates in log-x space — appropriate for
+    log-spaced sweeps such as the latency axis of Figure 3.
+    @raise Invalid_argument when any x is not positive. *)

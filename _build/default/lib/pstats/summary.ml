@@ -1,0 +1,40 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable total : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  { n = 0; mean = 0.; m2 = 0.; total = 0.; min_v = infinity; max_v = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.total <- t.total +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.n
+let total t = t.total
+let mean t = if t.n = 0 then Float.nan else t.mean
+
+let variance t =
+  if t.n < 2 then Float.nan else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+let min_value t = if t.n = 0 then Float.nan else t.min_v
+let max_value t = if t.n = 0 then Float.nan else t.max_v
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.n (mean t)
+    (stddev t) (min_value t) (max_value t)

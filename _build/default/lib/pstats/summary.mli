@@ -1,0 +1,19 @@
+(** Streaming summary statistics (Welford's algorithm). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** [nan] when empty. *)
+
+val variance : t -> float
+(** Sample variance; [nan] below two observations. *)
+
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val of_list : float list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+type series = {
+  label : string;
+  glyph : char;
+  points : (float * float) list;
+}
+
+type axes = {
+  log_x : bool;
+  log_y : bool;
+  width : int;
+  height : int;
+}
+
+let default_axes = { log_x = false; log_y = false; width = 64; height = 16 }
+
+let transform ~log v =
+  if log then begin
+    if v <= 0. then
+      invalid_arg "Chart.render: non-positive value on a log axis";
+    Float.log10 v
+  end
+  else v
+
+let render ?(axes = default_axes) ~title series =
+  if series = [] || List.for_all (fun s -> s.points = []) series then
+    invalid_arg "Chart.render: no data";
+  let all =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun (x, y) ->
+            (transform ~log:axes.log_x x, transform ~log:axes.log_y y))
+          s.points)
+      series
+  in
+  let xs = List.map fst all and ys = List.map snd all in
+  let fmin = List.fold_left Float.min infinity in
+  let fmax = List.fold_left Float.max neg_infinity in
+  let x0 = fmin xs and x1 = fmax xs in
+  let y0 = fmin ys and y1 = fmax ys in
+  let xspan = if x1 > x0 then x1 -. x0 else 1. in
+  let yspan = if y1 > y0 then y1 -. y0 else 1. in
+  let grid = Array.make_matrix axes.height axes.width ' ' in
+  let plot s =
+    List.iter
+      (fun (x, y) ->
+        let tx = transform ~log:axes.log_x x
+        and ty = transform ~log:axes.log_y y in
+        let col =
+          int_of_float
+            (Float.round ((tx -. x0) /. xspan *. float_of_int (axes.width - 1)))
+        in
+        let row =
+          axes.height - 1
+          - int_of_float
+              (Float.round
+                 ((ty -. y0) /. yspan *. float_of_int (axes.height - 1)))
+        in
+        if row >= 0 && row < axes.height && col >= 0 && col < axes.width then
+          grid.(row).(col) <- s.glyph)
+      s.points
+  in
+  List.iter plot series;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  let y_label row =
+    (* value at this row's center, back-transformed *)
+    let frac = float_of_int (axes.height - 1 - row) /. float_of_int (axes.height - 1) in
+    let v = y0 +. (frac *. yspan) in
+    let v = if axes.log_y then 10. ** v else v in
+    if Float.abs v >= 1e6 then Printf.sprintf "%8.2e" v
+    else Printf.sprintf "%8.1f" v
+  in
+  Array.iteri
+    (fun row line ->
+      let label =
+        if row = 0 || row = axes.height - 1 || row = axes.height / 2 then
+          y_label row
+        else String.make 8 ' '
+      in
+      Buffer.add_string buf (label ^ " |");
+      Buffer.add_string buf (String.init axes.width (fun c -> line.(c)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make 9 ' ' ^ "+" ^ String.make axes.width '-' ^ "\n");
+  let xv v = if axes.log_x then 10. ** v else v in
+  let left = Printf.sprintf "%.3g" (xv x0) in
+  let right = Printf.sprintf "%.3g" (xv x1) in
+  let gap =
+    String.make
+      (max 1 (axes.width - String.length left - String.length right))
+      ' '
+  in
+  Buffer.add_string buf (String.make 10 ' ' ^ left ^ gap ^ right ^ "\n");
+  Buffer.add_string buf
+    (String.concat "   "
+       (List.map (fun s -> Printf.sprintf "%c = %s" s.glyph s.label) series));
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** ASCII line charts for figure reproductions in the terminal.
+
+    Renders one or more (x, y) series on a character grid with optional
+    logarithmic axes — enough to eyeball the shape of Figure 3 (log-log
+    latency sweep) next to the paper. *)
+
+type series = {
+  label : string;
+  glyph : char;
+  points : (float * float) list;
+}
+
+type axes = {
+  log_x : bool;
+  log_y : bool;
+  width : int;  (** plot area columns *)
+  height : int;  (** plot area rows *)
+}
+
+val default_axes : axes
+(** linear axes, 64 x 16. *)
+
+val render : ?axes:axes -> title:string -> series list -> string
+(** @raise Invalid_argument on empty input or non-positive data on a
+    logarithmic axis. *)

@@ -1,0 +1,13 @@
+let escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let row cells = String.concat "," (List.map escape cells)
+
+let write oc ~header rows =
+  output_string oc (row header ^ "\n");
+  List.iter (fun r -> output_string oc (row r ^ "\n")) rows
+
+let to_string ~header rows =
+  String.concat "\n" (row header :: List.map row rows) ^ "\n"

@@ -1,0 +1,6 @@
+(** Minimal CSV writer for experiment series. *)
+
+val escape : string -> string
+val row : string list -> string
+val write : out_channel -> header:string list -> string list list -> unit
+val to_string : header:string list -> string list list -> string

@@ -1,0 +1,88 @@
+type align =
+  | Left
+  | Right
+
+type row =
+  | Cells of string list
+  | Separator
+
+type t = {
+  columns : (string * align) list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ~columns = { columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let headers = List.map fst t.columns in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i (h, _) ->
+        List.fold_left
+          (fun w row ->
+            match row with
+            | Cells cells -> max w (String.length (List.nth cells i))
+            | Separator -> w)
+          (String.length h) rows)
+      t.columns
+  in
+  let buf = Buffer.create 256 in
+  let pad align width s =
+    let fill = String.make (max 0 (width - String.length s)) ' ' in
+    match align with
+    | Left -> s ^ fill
+    | Right -> fill ^ s
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i cell ->
+        let width = List.nth widths i in
+        let _, align = List.nth t.columns i in
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad align width cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let emit_separator () =
+    List.iteri
+      (fun i width ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (String.make width '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells headers;
+  emit_separator ();
+  List.iter
+    (fun row ->
+      match row with
+      | Cells cells -> emit_cells cells
+      | Separator -> emit_separator ())
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float ?(decimals = 3) x =
+  if Float.is_nan x then "-"
+  else if Float.is_integer x && Float.abs x < 1e15 && decimals = 0 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.*f" decimals x
+
+let fmt_rate r =
+  if Float.is_nan r then "-"
+  else if r = Float.infinity then "inf"
+  else if r >= 1e9 then Printf.sprintf "%.2fG/s" (r /. 1e9)
+  else if r >= 1e6 then Printf.sprintf "%.2fM/s" (r /. 1e6)
+  else if r >= 1e3 then Printf.sprintf "%.2fk/s" (r /. 1e3)
+  else Printf.sprintf "%.1f/s" r
+
+let fmt_bold_if b s = if b then "*" ^ s ^ "*" else s

@@ -1,0 +1,27 @@
+(** Fixed-width ASCII tables for experiment output. *)
+
+type align =
+  | Left
+  | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on arity mismatch. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+val print : t -> unit
+
+(** {1 Cell formatting helpers} *)
+
+val fmt_float : ?decimals:int -> float -> string
+val fmt_rate : float -> string
+(** Human units: ops/s with k/M/G suffix. *)
+
+val fmt_bold_if : bool -> string -> string
+(** Wrap in [*...*] — the paper's Table 1 bolds configurations that
+    reach instruction execution rate. *)

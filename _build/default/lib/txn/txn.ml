@@ -1,0 +1,147 @@
+module M = Memsim.Machine
+
+type annotation =
+  | Unannotated
+  | Epoch_txn
+  | Strand_txn
+
+type manager = {
+  annotation : annotation;
+  lock : M.lock;
+  tail_addr : int;  (* persistent: committed log bytes *)
+  log_addr : int;  (* persistent: record area *)
+  log_capacity : int;
+  mutable next_txid : int;
+  mutable committed : int;
+}
+
+let create machine ?(annotation = Epoch_txn) ~log_capacity_bytes () =
+  if log_capacity_bytes < 32 then
+    invalid_arg "Txn.create: log capacity too small";
+  let memory = M.memory machine in
+  let tail_addr = Memsim.Memory.alloc memory Memsim.Addr.Persistent 8 in
+  let log_addr =
+    Memsim.Memory.alloc memory Memsim.Addr.Persistent log_capacity_bytes
+  in
+  { annotation;
+    lock = M.mutex machine;
+    tail_addr;
+    log_addr;
+    log_capacity = log_capacity_bytes;
+    next_txid = 1;
+    committed = 0 }
+
+let log_range mgr = (mgr.tail_addr, mgr.log_addr + mgr.log_capacity)
+
+type t = {
+  mgr : manager;
+  mutable writes : (int * int64) list;  (* newest first *)
+}
+
+let write t addr value =
+  if not (Memsim.Addr.equal_space (Memsim.Addr.space_of addr) Memsim.Addr.Persistent)
+  then invalid_arg "Txn.write: address must be persistent";
+  if not (Memsim.Addr.is_aligned ~size:8 addr) then
+    invalid_arg "Txn.write: address must be 8-byte aligned";
+  t.writes <- (addr, value) :: t.writes
+
+let read t addr =
+  match List.assoc_opt addr t.writes with
+  | Some v -> v
+  | None -> M.load addr
+
+(* Final value per address, in first-buffered order (so the in-place
+   application and the log replay agree). *)
+let write_set t =
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc (addr, value) ->
+      if Hashtbl.mem seen addr then acc
+      else begin
+        Hashtbl.add seen addr ();
+        (addr, value) :: acc
+      end)
+    [] t.writes
+
+let record_bytes nwrites = 16 + (16 * nwrites)
+
+let barrier_if cond = if cond then M.persist_barrier ()
+
+let atomically mgr body =
+  let t = { mgr; writes = [] } in
+  (* The body runs under the commit lock: its reads must observe every
+     earlier transaction's writes, or replaying the log's absolute
+     values in commit order would not be serializable. *)
+  M.label "txn";
+  M.lock mgr.lock;
+  (match mgr.annotation with
+  | Strand_txn ->
+    (* a fresh strand, ordered after the previous commit via strong
+       persist atomicity on the tail plus the record barrier below *)
+    M.new_strand ();
+    ignore (M.load mgr.tail_addr)
+  | Epoch_txn | Unannotated -> ());
+  body t;
+  let writes = write_set t in
+  let n = List.length writes in
+  if n > 0 then begin
+    let epoch_like =
+      match mgr.annotation with
+      | Epoch_txn | Strand_txn -> true
+      | Unannotated -> false
+    in
+    let txid = mgr.next_txid in
+    mgr.next_txid <- txid + 1;
+    let tail = Int64.to_int (M.load mgr.tail_addr) in
+    if tail + record_bytes n > mgr.log_capacity then begin
+      M.unlock mgr.lock;
+      failwith "Txn.atomically: log exhausted"
+    end;
+    let base = mgr.log_addr + tail in
+    M.store base (Int64.of_int txid);
+    M.store (base + 8) (Int64.of_int n);
+    List.iteri
+      (fun i (addr, value) ->
+        M.store (base + 16 + (16 * i)) (Int64.of_int addr);
+        M.store (base + 24 + (16 * i)) value)
+      writes;
+    barrier_if epoch_like;
+    (* the commit point *)
+    M.store mgr.tail_addr (Int64.of_int (tail + record_bytes n));
+    barrier_if epoch_like;
+    List.iter (fun (addr, value) -> M.store addr value) writes;
+    mgr.committed <- mgr.committed + 1
+  end;
+  M.unlock mgr.lock
+
+let committed mgr = mgr.committed
+
+let recover_image mgr image =
+  let read addr =
+    if addr + 8 > Bytes.length image then
+      failwith "Txn.recover_image: image too small for the log region"
+    else Bytes.get_int64_le image addr
+  in
+  let tail = Int64.to_int (read mgr.tail_addr) in
+  if tail < 0 || tail > mgr.log_capacity then
+    failwith "Txn.recover_image: corrupt log tail";
+  let rec replay off =
+    if off < tail then begin
+      let base = mgr.log_addr + off in
+      let txid = Int64.to_int (read base) in
+      let n = Int64.to_int (read (base + 8)) in
+      if txid <= 0 || n <= 0 || off + record_bytes n > tail then
+        failwith "Txn.recover_image: corrupt log record"
+      else begin
+        for i = 0 to n - 1 do
+          let addr = Int64.to_int (read (base + 16 + (16 * i))) in
+          let value = read (base + 24 + (16 * i)) in
+          if addr + 8 > Bytes.length image then
+            failwith "Txn.recover_image: corrupt write address"
+          else Bytes.set_int64_le image addr value
+        done;
+        replay (off + record_bytes n)
+      end
+    end
+  in
+  replay 0

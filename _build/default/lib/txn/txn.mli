@@ -1,0 +1,69 @@
+(** Durable transactions over the persistency models.
+
+    The paper situates itself against transactional NVRAM interfaces
+    (Mnemosyne, NV-heaps, Kiln — Sections 1 and 9): transactions are
+    one concurrency-control idiom that persistency models must be able
+    to express.  This library builds exactly that idiom from the
+    paper's primitives — a redo log published with persist barriers —
+    so examples and tests can exercise atomic multi-word updates and
+    check them under failure injection.
+
+    Commit protocol (epoch annotation):
+
+    {v
+    append redo record (txid, writes)      — concurrent persists
+    PERSIST BARRIER
+    advance log tail (8-byte, atomic)      — the commit point
+    PERSIST BARRIER
+    apply writes in place
+    v}
+
+    The strand annotation additionally opens a fresh strand per
+    transaction and orders it after the previous commit by reading the
+    tail (strong persist atomicity + barrier), so independent
+    transactions' log records persist concurrently.
+
+    Recovery replays every record below the recovered tail, in order,
+    over the crash image: committed transactions are all-or-nothing,
+    uncommitted ones invisible (in-place writes happen only after the
+    commit point, so a durable in-place write implies a durable commit
+    record by down-closure). *)
+
+type annotation =
+  | Unannotated  (** strict persistency: program order suffices *)
+  | Epoch_txn
+  | Strand_txn
+
+type manager
+
+val create :
+  Memsim.Machine.t -> ?annotation:annotation -> log_capacity_bytes:int ->
+  unit -> manager
+(** Allocate the log region, tail pointer and commit lock.  Call
+    outside thread context.  Default annotation: [Epoch_txn]. *)
+
+val log_range : manager -> int * int
+(** [(first, past-last)] persistent addresses of the manager's state
+    (tail pointer and log region), e.g. for sizing crash images. *)
+
+type t
+(** An open transaction: a read-through write buffer. *)
+
+val write : t -> int -> int64 -> unit
+(** Buffer an 8-byte persistent write.
+    @raise Invalid_argument on a volatile or misaligned address. *)
+
+val read : t -> int -> int64
+(** Read-your-writes: the buffered value if present, else memory. *)
+
+val atomically : manager -> (t -> unit) -> unit
+(** Run a transaction body and commit its buffered writes durably and
+    atomically.  Transactions serialize on the manager's lock.
+    @raise Failure when the log region is exhausted (no truncation). *)
+
+val committed : manager -> int
+(** Transactions committed so far (host-side counter). *)
+
+val recover_image : manager -> bytes -> unit
+(** Redo-replay the committed log of a crash image onto that image —
+    the recovery procedure.  @raise Failure on a corrupt log. *)

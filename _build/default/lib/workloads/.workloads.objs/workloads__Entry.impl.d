@@ -1,0 +1,1 @@
+lib/workloads/entry.ml: Bytes Int64 Memsim Printf

@@ -1,0 +1,1 @@
+lib/workloads/insert_list.ml: Int64 Memsim

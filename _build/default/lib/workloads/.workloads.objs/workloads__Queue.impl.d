@@ -1,0 +1,1 @@
+lib/workloads/queue.ml: Bytes Entry Format Insert_list Int64 Memsim Persistency Printf

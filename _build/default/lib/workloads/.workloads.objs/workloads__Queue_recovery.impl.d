@@ -1,0 +1,1 @@
+lib/workloads/queue_recovery.ml: Bytes Entry Hashtbl Int64 List Option Printf Queue

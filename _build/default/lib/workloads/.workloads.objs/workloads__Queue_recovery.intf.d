@@ -1,0 +1,1 @@
+lib/workloads/queue_recovery.mli: Queue

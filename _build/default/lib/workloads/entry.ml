@@ -1,0 +1,55 @@
+let min_size = 16
+
+(* Cheap deterministic byte stream: splitmix-style hash of the
+   coordinates, so [check] can recompute any byte in isolation. *)
+let filler_byte ~seed ~tid ~seq ~i =
+  let h = ref (seed * 0x9e3779b1 + (tid * 0x85ebca6b) + (seq * 0xc2b2ae35) + i) in
+  h := !h lxor (!h lsr 15);
+  h := !h * 0x2c1b3c6d;
+  h := !h lxor (!h lsr 12);
+  !h land 0xff
+
+let make ~seed ~tid ~seq ~size =
+  if size < min_size then
+    invalid_arg
+      (Printf.sprintf "Entry.make: size %d below minimum %d" size min_size);
+  let b = Bytes.create size in
+  Bytes.set_int64_le b 0 (Int64.of_int tid);
+  Bytes.set_int64_le b 8 (Int64.of_int seq);
+  for i = 16 to size - 1 do
+    Bytes.set_uint8 b i (filler_byte ~seed ~tid ~seq ~i)
+  done;
+  b
+
+let tid_of b = Int64.to_int (Bytes.get_int64_le b 0)
+let seq_of b = Int64.to_int (Bytes.get_int64_le b 8)
+
+let check ~seed ~size b =
+  if Bytes.length b <> size then
+    Error
+      (Printf.sprintf "entry has %d bytes, expected %d" (Bytes.length b) size)
+  else begin
+    let tid = tid_of b and seq = seq_of b in
+    if tid < 0 || seq < 0 then
+      Error (Printf.sprintf "entry header corrupt (tid=%d seq=%d)" tid seq)
+    else begin
+      let bad = ref None in
+      for i = 16 to size - 1 do
+        if !bad = None then begin
+          let expected = filler_byte ~seed ~tid ~seq ~i in
+          let got = Bytes.get_uint8 b i in
+          if expected <> got then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "entry (tid=%d seq=%d) byte %d: expected 0x%02x, got 0x%02x"
+                   tid seq i expected got)
+        end
+      done;
+      match !bad with
+      | Some msg -> Error msg
+      | None -> Ok ()
+    end
+  end
+
+let slot_size ~entry_size = Memsim.Addr.align_up (entry_size + 8) ~quantum:8

@@ -1,0 +1,24 @@
+(** Queue entry payloads.
+
+    Entries carry their producing thread and sequence number followed
+    by deterministic pseudo-random filler, so a recovery checker can
+    re-derive the expected bytes of any entry from [(seed, tid, seq)]
+    alone — no ground-truth log needs to survive the crash. *)
+
+val min_size : int
+(** 16 bytes: an entry must at least hold its (tid, seq) header. *)
+
+val make : seed:int -> tid:int -> seq:int -> size:int -> bytes
+(** The [size]-byte payload (excludes the on-queue length word).
+    @raise Invalid_argument when [size < min_size]. *)
+
+val tid_of : bytes -> int
+val seq_of : bytes -> int
+
+val check : seed:int -> size:int -> bytes -> (unit, string) result
+(** Validate a recovered payload: well-formed header and filler
+    matching {!make} for the embedded [(tid, seq)]. *)
+
+val slot_size : entry_size:int -> int
+(** On-queue footprint: 8-byte length word plus payload, rounded up to
+    8 bytes so successive entries stay word-aligned. *)

@@ -1,0 +1,45 @@
+module M = Memsim.Machine
+
+(* Volatile layout: [head_idx][tail_idx][slot 0: end, done][slot 1...].
+   Tickets are monotonically increasing append indices; slot = ticket
+   mod slots. *)
+type t = { base : int; slots : int }
+
+let create machine ~slots =
+  if slots < 1 then invalid_arg "Insert_list.create: slots must be >= 1";
+  let bytes = 16 + (16 * slots) in
+  let base = Memsim.Memory.alloc (M.memory machine) Memsim.Addr.Volatile bytes in
+  { base; slots }
+
+let head_idx t = t.base
+let tail_idx t = t.base + 8
+let slot_end t i = t.base + 16 + (16 * (i mod t.slots))
+let slot_done t i = slot_end t i + 8
+
+let append t ~end_offset =
+  let ticket = Int64.to_int (M.load (tail_idx t)) in
+  let live = ticket - Int64.to_int (M.load (head_idx t)) in
+  if live >= t.slots then
+    invalid_arg "Insert_list.append: more in-flight inserts than slots";
+  M.store (slot_end t ticket) (Int64.of_int end_offset);
+  M.store (slot_done t ticket) 0L;
+  M.store (tail_idx t) (Int64.of_int (ticket + 1));
+  ticket
+
+let remove t ticket =
+  M.store (slot_done t ticket) 1L;
+  let oldest = Int64.to_int (M.load (head_idx t)) in
+  if oldest <> ticket then (false, 0)
+  else begin
+    (* Pop the completed prefix; publish the last popped end offset. *)
+    let rec pop i new_head =
+      let tail = Int64.to_int (M.load (tail_idx t)) in
+      if i < tail && Int64.equal (M.load (slot_done t i)) 1L then
+        pop (i + 1) (Int64.to_int (M.load (slot_end t i)))
+      else begin
+        M.store (head_idx t) (Int64.of_int i);
+        (true, new_head)
+      end
+    in
+    pop ticket 0
+  end

@@ -1,0 +1,28 @@
+(** The volatile insert list of Two-Lock Concurrent (paper Algorithm 1,
+    lines 19 and 24).
+
+    Tracks in-flight inserts in reservation order so that head-pointer
+    updates never expose holes: an insert's reservation is published
+    only once every earlier reservation has completed.  The structure
+    lives in simulated {e volatile} memory, so its accesses appear in
+    the trace and participate in conflict-based persist ordering, just
+    as the real data structure's accesses did under PIN.
+
+    Concurrency contract (mirrors the queue): {!append} is called under
+    the reserve lock, {!remove} under the update lock. *)
+
+type t
+
+val create : Memsim.Machine.t -> slots:int -> t
+(** Allocate in volatile space; [slots] bounds in-flight inserts (use
+    at least the thread count).  Call outside thread context. *)
+
+val append : t -> end_offset:int -> int
+(** Record a reservation ending at [end_offset]; returns a ticket. *)
+
+val remove : t -> int -> bool * int
+(** [remove t ticket] marks the ticket complete.  Returns
+    [(oldest, new_head)]: when [ticket] was the oldest in-flight
+    reservation, [oldest] is true and [new_head] is the end offset of
+    the longest completed prefix — the value to publish to the head
+    pointer.  Otherwise [(false, 0)]. *)

@@ -1,0 +1,92 @@
+(** Thread-safe persistent queues (paper Section 6, Algorithm 1).
+
+    Two designs over a circular persistent buffer with a persistent
+    head pointer:
+
+    - {b Copy While Locked} (CWL): one lock serializes inserts; each
+      insert persists the entry (length + payload) into the data
+      segment, then advances the head pointer.
+    - {b Two-Lock Concurrent} (2LC): a reserve lock allocates data
+      segment space, the copy proceeds outside any lock (so copies from
+      different threads persist concurrently), and an update lock plus
+      a volatile insert list publish head updates in reservation order
+      to avoid holes.
+
+    Recovery for both: an entry is valid iff the persisted head pointer
+    encompasses its portion of the data segment, so persists to the
+    head must follow the entry's data persists and occur in insert
+    order (head persists may coalesce).
+
+    The [annotation] selects the barrier placement of Algorithm 1:
+    [Epoch] brackets lock operations with persist barriers (the
+    conservative placement that avoids persist-epoch races), [Racing]
+    drops the barriers marked "removing allows race" and relies on
+    strong persist atomicity of the head pointer, [Strand] adds
+    [NewStrand] at the top of each insert, and [Buggy_epoch] omits the
+    data→head barrier of line 8 — a deliberately incorrect program used
+    to demonstrate that the recovery checker catches real bugs. *)
+
+type design =
+  | Cwl
+  | Tlc
+  | Fang
+      (** the SCM log of Fang et al. (paper Section 6, related design):
+          one lock serializes inserts; each record embeds a trailing
+          seal word (its sequence number) persisted after the payload,
+          so recovery scans records until the first unsealed one — no
+          separate head pointer.  The paper notes its persists are
+          ordered by the critical section and it "achieves similar
+          persist throughput" to Copy While Locked under these models *)
+
+type annotation =
+  | Unannotated  (** for strict persistency: no barriers are needed *)
+  | Epoch
+  | Racing
+  | Strand
+  | Buggy_epoch
+
+type params = {
+  design : design;
+  annotation : annotation;
+  threads : int;
+  inserts_per_thread : int;
+  entry_size : int;  (** payload bytes; paper uses 100 *)
+  capacity_entries : int;  (** data segment capacity, in entries *)
+  seed : int;
+  policy : Memsim.Machine.policy;
+}
+
+val default_params : params
+(** CWL, [Unannotated], 1 thread, 1000 inserts, 100-byte entries,
+    64-entry capacity, seed 42, round-robin. *)
+
+val annotation_for : Persistency.Config.mode -> racing:bool -> annotation
+(** The natural annotation for a model: strict → [Unannotated], epoch →
+    [Epoch] or [Racing], strand → [Strand]. *)
+
+type layout = {
+  head_addr : int;  (** persistent 8-byte head pointer (unused by
+                        [Fang], which has no head) *)
+  data_addr : int;  (** persistent data segment base *)
+  data_bytes : int;
+  slot : int;  (** bytes consumed per insert: length word + payload
+                   (word-aligned), plus a seal word for [Fang] *)
+}
+
+type result = {
+  layout : layout;
+  inserts : int;  (** total completed inserts *)
+  events : int;  (** memory events emitted *)
+  insert_order : int list;  (** thread id per insert, in commit order —
+                                the paper's insert-distance validation
+                                input (Section 7) *)
+}
+
+val run : params -> sink:(Memsim.Event.t -> unit) -> result
+(** Build the queue, run [threads] inserter threads to completion and
+    stream every event to [sink].
+    @raise Invalid_argument on invalid parameters. *)
+
+val design_name : design -> string
+val annotation_name : annotation -> string
+val pp_params : Format.formatter -> params -> unit

@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Cachesim List Memsim Workloads

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Float Fun Int64 List Memsim Option Persistency Printf QCheck QCheck_alcotest Random String

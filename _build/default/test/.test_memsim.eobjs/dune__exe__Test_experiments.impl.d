@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Experiments Float Lazy List Memsim Nvram Option Persistency Printf Pstats String Workloads

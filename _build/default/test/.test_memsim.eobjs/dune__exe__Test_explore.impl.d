@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Hashtbl Int64 List Memsim Option Persistency Printf Random String Workloads

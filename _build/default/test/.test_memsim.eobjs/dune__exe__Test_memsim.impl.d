@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Bytes Char Filename Hashtbl Int64 List Memsim Option Sys

@@ -1,0 +1,1 @@
+test/test_nvram.ml: Alcotest Float List Memsim Nvram Option Persistency Workloads

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest List Memsim Option Persistency Printf QCheck QCheck_alcotest Workloads

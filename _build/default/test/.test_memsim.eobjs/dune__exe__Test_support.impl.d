@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Calibrate Float List Pstats Report String Workloads

@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Bytes Int64 Memsim Option Persistency Printf Txn

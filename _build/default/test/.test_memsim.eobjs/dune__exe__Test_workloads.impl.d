@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Bytes Hashtbl Int64 List Memsim Option Persistency Workloads

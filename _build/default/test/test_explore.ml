@@ -1,0 +1,171 @@
+(* Tests for the systematic interleaving explorer, culminating in
+   exhaustive verification of a small persistent queue: every SC
+   interleaving x every legal crash state. *)
+
+module M = Memsim.Machine
+module P = Persistency
+module Q = Workloads.Queue
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let choose k n =
+  (* binomial coefficient, for expected interleaving counts *)
+  let rec go acc i = if i > k then acc else go (acc * (n - k + i) / i) (i + 1) in
+  go 1 1
+
+let two_threads_n_ops n policy =
+  let memory = Memsim.Memory.create () in
+  let machine = M.create ~policy ~memory () in
+  M.set_sink machine ignore;
+  let a = Memsim.Memory.alloc memory Memsim.Addr.Persistent 64 in
+  for t = 0 to 1 do
+    ignore
+      (M.spawn machine (fun () ->
+           for i = 0 to n - 1 do
+             M.store (a + (8 * t)) (Int64.of_int i)
+           done))
+  done;
+  M.run machine
+
+let test_counts_interleavings () =
+  (* two threads of n independent ops have C(2n, n) interleavings; the
+     spawn thunks add one forced decision each but no branching beyond
+     the op count, so the explorer must find exactly C(2n, n)... the
+     start thunks themselves are scheduling decisions, making the space
+     slightly larger; just check monotone growth and exact small case *)
+  let count n =
+    (Memsim.Explore.run_all ~limit:100_000 (two_threads_n_ops n)).traces
+  in
+  let c1 = count 1 and c2 = count 2 in
+  checkb "n=1 at least C(2,1)" true (c1 >= choose 1 2);
+  checkb "n=2 more traces" true (c2 > c1);
+  checkb "n=2 at least C(4,2)" true (c2 >= choose 2 4)
+
+let test_complete_flag () =
+  let o = Memsim.Explore.run_all ~limit:3 (two_threads_n_ops 3) in
+  checki "stopped at limit" 3 o.Memsim.Explore.traces;
+  checkb "incomplete" false o.Memsim.Explore.complete;
+  let o2 = Memsim.Explore.run_all ~limit:100_000 (two_threads_n_ops 1) in
+  checkb "complete" true o2.Memsim.Explore.complete
+
+let test_distinct_traces () =
+  (* the explorer must enumerate distinct interleavings *)
+  let seen = Hashtbl.create 64 in
+  let run policy =
+    let memory = Memsim.Memory.create () in
+    let machine = M.create ~policy ~memory () in
+    let trace = Memsim.Trace.create () in
+    M.set_sink machine (Memsim.Trace.sink trace);
+    let a = Memsim.Memory.alloc memory Memsim.Addr.Persistent 64 in
+    for t = 0 to 1 do
+      ignore
+        (M.spawn machine (fun () -> M.store (a + (8 * t)) (Int64.of_int t)))
+    done;
+    M.run machine;
+    let key =
+      String.concat ";"
+        (List.map Memsim.Event.to_string (Memsim.Trace.to_list trace))
+    in
+    Hashtbl.replace seen key ()
+  in
+  let o = Memsim.Explore.run_all ~limit:1000 run in
+  checkb "complete" true o.Memsim.Explore.complete;
+  (* two single-store threads: exactly 2 distinct event orders *)
+  checki "distinct traces" 2 (Hashtbl.length seen)
+
+let test_scripted_out_of_range () =
+  Alcotest.match_raises "bad script index"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () ->
+      let s = M.script ~forced:[ 99 ] in
+      two_threads_n_ops 1 (M.Scripted s))
+
+(* The headline: exhaustive verification of a tiny queue.  Every
+   interleaving of 2 threads x 1 insert of a 16-byte entry; for each
+   trace, every legal crash state of the persist dependence graph.
+   CWL's single lock keeps the interleaving space exhaustively small;
+   2LC's concurrent copies blow it past 2M, so for 2LC we bound the
+   depth-first search and sample crash states instead
+   ([require_complete = false]). *)
+let exhaustive_queue ?(design = Q.Cwl) ?(limit = 20_000)
+    ?(require_complete = true) annotation mode ~expect_safe () =
+  let failures = ref 0 in
+  let rng = Random.State.make [| 17 |] in
+  let run policy =
+    let params =
+      { Q.design = design;
+        annotation;
+        threads = 2;
+        inserts_per_thread = 1;
+        entry_size = 16;
+        capacity_entries = 2;
+        seed = 1;
+        policy }
+    in
+    let cfg = P.Config.make ~record_graph:true mode in
+    let engine = P.Engine.create cfg in
+    let result = Q.run params ~sink:(P.Engine.observe engine) in
+    let layout = result.Q.layout in
+    let graph = Option.get (P.Engine.graph engine) in
+    let capacity = layout.Q.data_addr + layout.Q.data_bytes in
+    let cuts =
+      if require_complete then P.Observer.all_cuts graph
+      else List.init 25 (fun _ -> P.Observer.random_cut graph rng)
+    in
+    List.iter
+      (fun cut ->
+        let image = P.Observer.image_of_cut graph cut ~capacity in
+        match Workloads.Queue_recovery.check ~params ~layout image with
+        | Ok () -> ()
+        | Error _ -> incr failures)
+      cuts
+  in
+  let o = Memsim.Explore.run_all ~limit run in
+  if require_complete then
+    checkb "explored all interleavings" true o.Memsim.Explore.complete;
+  checkb "several interleavings" true (o.Memsim.Explore.traces > 10);
+  if expect_safe then
+    checki
+      (Printf.sprintf "no violation in %d interleavings" o.Memsim.Explore.traces)
+      0 !failures
+  else checkb "bug found by exploration" true (!failures > 0)
+
+let test_exhaustive_epoch () =
+  exhaustive_queue Q.Epoch P.Config.Epoch ~expect_safe:true ()
+
+let test_exhaustive_strand () =
+  exhaustive_queue Q.Strand P.Config.Strand ~expect_safe:true ()
+
+let test_exhaustive_strict () =
+  exhaustive_queue Q.Unannotated P.Config.Strict ~expect_safe:true ()
+
+let test_exhaustive_buggy () =
+  exhaustive_queue Q.Buggy_epoch P.Config.Epoch ~expect_safe:false ()
+
+let test_exhaustive_tlc () =
+  (* 2LC copies outside the locks: genuinely concurrent interleavings *)
+  exhaustive_queue ~design:Q.Tlc ~limit:800 ~require_complete:false Q.Racing
+    P.Config.Epoch ~expect_safe:true ()
+
+let test_exhaustive_tlc_buggy () =
+  exhaustive_queue ~design:Q.Tlc ~limit:800 ~require_complete:false
+    Q.Buggy_epoch P.Config.Epoch ~expect_safe:false ()
+
+let () =
+  Alcotest.run "explore"
+    [ ( "explorer",
+        [ Alcotest.test_case "counts interleavings" `Quick
+            test_counts_interleavings;
+          Alcotest.test_case "complete flag" `Quick test_complete_flag;
+          Alcotest.test_case "distinct traces" `Quick test_distinct_traces;
+          Alcotest.test_case "script validation" `Quick
+            test_scripted_out_of_range ] );
+      ( "exhaustive-queue",
+        [ Alcotest.test_case "epoch safe" `Slow test_exhaustive_epoch;
+          Alcotest.test_case "strand safe" `Slow test_exhaustive_strand;
+          Alcotest.test_case "strict safe" `Slow test_exhaustive_strict;
+          Alcotest.test_case "buggy caught" `Slow test_exhaustive_buggy;
+          Alcotest.test_case "2LC racing safe" `Slow test_exhaustive_tlc;
+          Alcotest.test_case "2LC buggy caught" `Slow test_exhaustive_tlc_buggy
+        ] ) ]

@@ -1,0 +1,207 @@
+(* Failure injection: the recovery observer samples legal crash states
+   and the queue recovery invariant must hold in every one — for every
+   design, every model/annotation pair, and several schedules.  The
+   deliberately broken annotation (no data→head barrier) must fail, and
+   must fail on a specific, targeted crash state. *)
+
+module Q = Workloads.Queue
+module P = Persistency
+
+let checkb = Alcotest.(check bool)
+
+let model_points =
+  [ ("strict", P.Config.Strict, Q.Unannotated);
+    ("epoch", P.Config.Epoch, Q.Epoch);
+    ("racing", P.Config.Epoch, Q.Racing);
+    ("strand", P.Config.Strand, Q.Strand) ]
+
+let run_and_graph ~design ~annotation ~mode ~threads ~inserts ~seed =
+  let params =
+    { Q.design;
+      annotation;
+      threads;
+      inserts_per_thread = inserts;
+      entry_size = 100;
+      capacity_entries = threads * inserts;
+      seed;
+      policy = Memsim.Machine.Random seed }
+  in
+  let cfg = P.Config.make ~record_graph:true mode in
+  let engine = P.Engine.create cfg in
+  let result = Q.run params ~sink:(P.Engine.observe engine) in
+  (params, result.Q.layout, Option.get (P.Engine.graph engine))
+
+let sampled_check ~design ~annotation ~mode ~seed =
+  let params, layout, graph =
+    run_and_graph ~design ~annotation ~mode ~threads:2 ~inserts:8 ~seed
+  in
+  P.Observer.check_cut_invariant graph
+    (Workloads.Queue_recovery.checker ~params ~layout)
+    ~capacity:(layout.Q.data_addr + layout.Q.data_bytes)
+    ~samples:300 ~seed
+
+let test_all_models_recover design () =
+  List.iter
+    (fun (label, mode, annotation) ->
+      List.iter
+        (fun seed ->
+          match sampled_check ~design ~annotation ~mode ~seed with
+          | Ok () -> ()
+          | Error msg ->
+            Alcotest.failf "%s/%s seed %d: %s" (Q.design_name design) label
+              seed msg)
+        [ 3; 7 ])
+    model_points
+
+let test_buggy_annotation_fails () =
+  (* removing the data→head barrier must be caught by sampling *)
+  match
+    sampled_check ~design:Q.Cwl ~annotation:Q.Buggy_epoch
+      ~mode:P.Config.Epoch ~seed:3
+  with
+  | Ok () ->
+    Alcotest.fail "buggy annotation survived sampled failure injection"
+  | Error _ -> ()
+
+let test_buggy_annotation_targeted_cut () =
+  (* deterministic witness: take the down-closure of the LAST head
+     update alone; without the barrier it does not drag the entry data
+     along, so recovery must find a hole *)
+  let params, layout, graph =
+    run_and_graph ~design:Q.Cwl ~annotation:Q.Buggy_epoch ~mode:P.Config.Epoch
+      ~threads:1 ~inserts:4 ~seed:5
+  in
+  let dag = P.Persist_graph.to_dag graph in
+  (* find the node holding the highest head-pointer write *)
+  let head_node = ref (-1) in
+  P.Persist_graph.iter
+    (fun n ->
+      Memsim.Vec.iter
+        (fun (w : P.Persist_graph.write) ->
+          if w.addr = layout.Q.head_addr then head_node := n.P.Persist_graph.id)
+        n.P.Persist_graph.writes)
+    graph;
+  checkb "found head node" true (!head_node >= 0);
+  let cut = P.Dag.down_closure dag (P.Iset.singleton !head_node) in
+  let image =
+    P.Observer.image_of_cut graph cut
+      ~capacity:(layout.Q.data_addr + layout.Q.data_bytes)
+  in
+  checkb "head durable without data" true
+    (Workloads.Queue_recovery.check ~params ~layout image <> Ok ())
+
+let test_correct_annotation_targeted_cut () =
+  (* the same targeted cut against the CORRECT annotation must be fine:
+     the barrier makes the data a dependence of the head update *)
+  let params, layout, graph =
+    run_and_graph ~design:Q.Cwl ~annotation:Q.Epoch ~mode:P.Config.Epoch
+      ~threads:1 ~inserts:4 ~seed:5
+  in
+  let dag = P.Persist_graph.to_dag graph in
+  let head_node = ref (-1) in
+  P.Persist_graph.iter
+    (fun n ->
+      Memsim.Vec.iter
+        (fun (w : P.Persist_graph.write) ->
+          if w.addr = layout.Q.head_addr then head_node := n.P.Persist_graph.id)
+        n.P.Persist_graph.writes)
+    graph;
+  let cut = P.Dag.down_closure dag (P.Iset.singleton !head_node) in
+  let image =
+    P.Observer.image_of_cut graph cut
+      ~capacity:(layout.Q.data_addr + layout.Q.data_bytes)
+  in
+  checkb "closure carries the data" true
+    (Workloads.Queue_recovery.check ~params ~layout image = Ok ())
+
+let test_strict_unannotated_buggy_still_safe () =
+  (* under strict persistency even the buggy program is safe: program
+     order alone orders data before head *)
+  match
+    sampled_check ~design:Q.Cwl ~annotation:Q.Buggy_epoch
+      ~mode:P.Config.Strict ~seed:3
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "strict should tolerate missing barriers: %s" msg
+
+let test_empty_cut_recovers_empty () =
+  let params, layout, graph =
+    run_and_graph ~design:Q.Cwl ~annotation:Q.Epoch ~mode:P.Config.Epoch
+      ~threads:1 ~inserts:4 ~seed:1
+  in
+  let image =
+    P.Observer.image_of_cut graph P.Iset.empty
+      ~capacity:(layout.Q.data_addr + layout.Q.data_bytes)
+  in
+  match Workloads.Queue_recovery.recover ~params ~layout image with
+  | Ok r ->
+    Alcotest.(check int) "empty queue" 0
+      (List.length r.Workloads.Queue_recovery.entries)
+  | Error msg -> Alcotest.fail msg
+
+(* Property: any correctly annotated queue configuration recovers in
+   every sampled crash state. *)
+let recovery_property =
+  let gen =
+    let open QCheck.Gen in
+    let design = oneofl [ Q.Cwl; Q.Tlc ] in
+    let point = oneofl model_points in
+    let threads = int_range 1 3 in
+    let inserts = int_range 2 6 in
+    let seed = int_range 0 1000 in
+    map
+      (fun (design, point, threads, inserts, seed) ->
+        (design, point, threads, inserts, seed))
+      (tup5 design point threads inserts seed)
+  in
+  let print (design, (label, _, _), threads, inserts, seed) =
+    Printf.sprintf "%s/%s threads=%d inserts=%d seed=%d"
+      (Q.design_name design) label threads inserts seed
+  in
+  QCheck.Test.make ~count:40 ~name:"random configs recover"
+    (QCheck.make gen ~print)
+    (fun (design, (_, mode, annotation), threads, inserts, seed) ->
+      let params =
+        { Q.design;
+          annotation;
+          threads;
+          inserts_per_thread = inserts;
+          entry_size = 100;
+          capacity_entries = threads * inserts;
+          seed;
+          policy = Memsim.Machine.Random seed }
+      in
+      let cfg = P.Config.make ~record_graph:true mode in
+      let engine = P.Engine.create cfg in
+      let result = Q.run params ~sink:(P.Engine.observe engine) in
+      let layout = result.Q.layout in
+      let graph = Option.get (P.Engine.graph engine) in
+      match
+        P.Observer.check_cut_invariant graph
+          (Workloads.Queue_recovery.checker ~params ~layout)
+          ~capacity:(layout.Q.data_addr + layout.Q.data_bytes)
+          ~samples:100 ~seed
+      with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+let () =
+  Alcotest.run "recovery"
+    [ ( "failure-injection",
+        [ Alcotest.test_case "CWL all models" `Slow
+            (test_all_models_recover Q.Cwl);
+          Alcotest.test_case "2LC all models" `Slow
+            (test_all_models_recover Q.Tlc);
+          Alcotest.test_case "Fang all models" `Slow
+            (test_all_models_recover Q.Fang);
+          Alcotest.test_case "buggy annotation fails" `Quick
+            test_buggy_annotation_fails;
+          Alcotest.test_case "buggy targeted cut" `Quick
+            test_buggy_annotation_targeted_cut;
+          Alcotest.test_case "correct targeted cut" `Quick
+            test_correct_annotation_targeted_cut;
+          Alcotest.test_case "strict tolerates missing barriers" `Quick
+            test_strict_unannotated_buggy_still_safe;
+          Alcotest.test_case "empty cut" `Quick test_empty_cut_recovers_empty;
+          QCheck_alcotest.to_alcotest recovery_property
+        ] ) ]
