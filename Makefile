@@ -1,0 +1,29 @@
+# Convenience targets around dune.  JOBS/BENCH_JOBS/FUZZ_TRACES tune
+# the parallel sweeps and the fuzzer; see README "Running the
+# evaluation in parallel".
+
+.PHONY: all build test bench bench-quick fuzz clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# Full evaluation reproduction + Bechamel microbenchmarks.
+bench: build
+	dune exec bench/main.exe
+
+# Shrunk smoke run of the same.
+bench-quick: build
+	BENCH_QUICK=1 dune exec bench/main.exe
+
+# Long differential fuzz of the persist engine against the oracle:
+# 2000 traces per model (the test suite's default is 200).
+fuzz: build
+	FUZZ_TRACES=2000 dune exec test/test_fuzz.exe
+
+clean:
+	dune clean

@@ -9,8 +9,10 @@
      size) plus component benchmarks of the machine and the analyzers.
 
    Scale knobs: BENCH_INSERTS (default 20000 for the reproduction,
-   tables use the experiment defaults) and BENCH_QUICK=1 to shrink
-   everything for smoke runs. *)
+   tables use the experiment defaults), BENCH_QUICK=1 to shrink
+   everything for smoke runs, and BENCH_JOBS to run the reproduction
+   sweeps on that many domains (default: cores - 1; output is
+   byte-identical for any value, sweep profiles go to stderr). *)
 
 open Bechamel
 open Toolkit
@@ -23,6 +25,8 @@ let getenv_int name default =
 let quick = Sys.getenv_opt "BENCH_QUICK" = Some "1"
 let repro_inserts = getenv_int "BENCH_INSERTS" (if quick then 2400 else 20_000)
 let micro_inserts = if quick then 400 else 1200
+let jobs = getenv_int "BENCH_JOBS" (Parallel.Pool.default_domains ())
+let on_profile p = prerr_string (Parallel.Pool.render_profile p)
 
 (* ------------------------------------------------------------------ *)
 (* Reproduction *)
@@ -33,63 +37,77 @@ let banner title =
 let reproduce () =
   banner "REPRODUCTION: Memory Persistency (ISCA 2014) evaluation";
   Printf.printf
-    "scale: %d inserts per configuration, %d-entry data segment\n"
-    repro_inserts Experiments.Run.default_capacity;
+    "scale: %d inserts per configuration, %d-entry data segment, \
+     %d sweep domain(s)\n"
+    repro_inserts Experiments.Run.default_capacity jobs;
   banner "Table 1";
-  print_string
-    (Experiments.Table1.render
-       (Experiments.Table1.run ~total_inserts:repro_inserts ()));
+  let t1 = Experiments.Table1.run ~jobs ~total_inserts:repro_inserts () in
+  on_profile t1.Experiments.Table1.profile;
+  print_string (Experiments.Table1.render t1);
   banner "Figure 3";
-  print_string
-    (Experiments.Fig3.render (Experiments.Fig3.run ~total_inserts:repro_inserts ()));
+  let f3 = Experiments.Fig3.run ~jobs ~total_inserts:repro_inserts () in
+  on_profile f3.Experiments.Fig3.profile;
+  print_string (Experiments.Fig3.render f3);
   banner "Figure 4";
-  print_string
-    (Experiments.Granularity.render
-       (Experiments.Granularity.run ~total_inserts:repro_inserts
-          Experiments.Granularity.Atomic_persist));
+  let f4 =
+    Experiments.Granularity.run ~jobs ~total_inserts:repro_inserts
+      Experiments.Granularity.Atomic_persist
+  in
+  on_profile f4.Experiments.Granularity.profile;
+  print_string (Experiments.Granularity.render f4);
   banner "Figure 5";
-  print_string
-    (Experiments.Granularity.render
-       (Experiments.Granularity.run ~total_inserts:repro_inserts
-          Experiments.Granularity.Tracking));
+  let f5 =
+    Experiments.Granularity.run ~jobs ~total_inserts:repro_inserts
+      Experiments.Granularity.Tracking
+  in
+  on_profile f5.Experiments.Granularity.profile;
+  print_string (Experiments.Granularity.render f5);
   banner "Section 7 validation (insert distance)";
-  print_string
-    (Experiments.Validation.render
-       (Experiments.Validation.run ~total_inserts:(min repro_inserts 8000) ()));
+  let v =
+    Experiments.Validation.run ~jobs ~total_inserts:(min repro_inserts 8000) ()
+  in
+  on_profile v.Experiments.Validation.profile;
+  print_string (Experiments.Validation.render v);
   banner "Ablations (A1-A5)";
   print_string
     (Experiments.Ablation.render_comparisons
        ~title:"A1: SC vs TSO (BPFS) conflict detection, cp/insert"
-       (Experiments.Ablation.tso_conflicts ~total_inserts:micro_inserts ()));
+       (Experiments.Ablation.tso_conflicts ~jobs ~on_profile
+          ~total_inserts:micro_inserts ()));
   print_string
     (Experiments.Ablation.render_comparisons
        ~title:"\nA2: both spaces vs persistent-only conflicts, cp/insert"
-       (Experiments.Ablation.conflict_spaces ~total_inserts:micro_inserts ()));
+       (Experiments.Ablation.conflict_spaces ~jobs ~on_profile
+          ~total_inserts:micro_inserts ()));
   print_string
     (Experiments.Ablation.render_comparisons
        ~title:"\nA4: coalescing on vs off, cp/insert"
-       (Experiments.Ablation.coalescing ~total_inserts:micro_inserts ()));
+       (Experiments.Ablation.coalescing ~jobs ~on_profile
+          ~total_inserts:micro_inserts ()));
   print_string
     (Experiments.Ablation.render_buffer
-       (Experiments.Ablation.buffer_depth ~total_inserts:micro_inserts ()));
+       (Experiments.Ablation.buffer_depth ~jobs ~on_profile
+          ~total_inserts:micro_inserts ()));
   print_string
     (Experiments.Ablation.render_capacity
-       (Experiments.Ablation.capacity ~total_inserts:(4 * micro_inserts) ()));
+       (Experiments.Ablation.capacity ~jobs ~on_profile
+          ~total_inserts:(4 * micro_inserts) ()));
   print_string
     (Experiments.Ablation.render_sync
-       (Experiments.Ablation.persist_sync ~total_inserts:micro_inserts ()));
+       (Experiments.Ablation.persist_sync ~jobs ~on_profile
+          ~total_inserts:micro_inserts ()));
   banner "Relaxing consistency vs relaxing persistency (Section 5.1)";
-  print_string
-    (Experiments.Consistency_exp.render
-       (Experiments.Consistency_exp.run ~total_inserts:repro_inserts ()));
+  let cx = Experiments.Consistency_exp.run ~jobs ~total_inserts:repro_inserts () in
+  on_profile cx.Experiments.Consistency_exp.profile;
+  print_string (Experiments.Consistency_exp.render cx);
   banner "Model vs cache implementation";
   print_string
     (Experiments.Cache_impl.render
        (Experiments.Cache_impl.run ~total_inserts:(4 * micro_inserts) ()));
   banner "NVRAM wear";
-  print_string
-    (Experiments.Wear_exp.render
-       (Experiments.Wear_exp.run ~total_inserts:(2 * micro_inserts) ()))
+  let w = Experiments.Wear_exp.run ~jobs ~total_inserts:(2 * micro_inserts) () in
+  on_profile w.Experiments.Wear_exp.profile;
+  print_string (Experiments.Wear_exp.render w)
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmarks *)

@@ -19,6 +19,19 @@ let csv_t =
   let doc = "Emit CSV instead of a formatted table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+let jobs_t =
+  let doc =
+    "Worker domains for the configuration sweep (default: cores - 1). \
+     Table output is byte-identical for any value; only wall clock \
+     changes."
+  in
+  Arg.(value & opt int (Parallel.Pool.default_domains ())
+       & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(* The sweep-profile footer goes to stderr so that table output on
+   stdout stays byte-identical across --jobs values. *)
+let print_profile p = prerr_string (Parallel.Pool.render_profile p)
+
 let threads_t default =
   let doc = "Worker thread count." in
   Arg.(value & opt int default & info [ "threads" ] ~docv:"N" ~doc)
@@ -47,18 +60,19 @@ let model_t =
 (* table1 *)
 
 let table1_cmd =
-  let run inserts capacity latency csv calibrate =
+  let run inserts capacity latency csv calibrate jobs =
     let insn_ns =
       if calibrate then (fun design threads ->
         Calibrate.measure_native_ns ~design ~threads ())
       else (fun design threads -> Calibrate.default_insn_ns ~design ~threads)
     in
     let t =
-      Experiments.Table1.run ~total_inserts:inserts
+      Experiments.Table1.run ~jobs ~total_inserts:inserts
         ~capacity_entries:capacity ~latency_ns:latency ~insn_ns ()
     in
     print_string
-      (if csv then Experiments.Table1.to_csv t else Experiments.Table1.render t)
+      (if csv then Experiments.Table1.to_csv t else Experiments.Table1.render t);
+    print_profile t.Experiments.Table1.profile
   in
   let latency_t =
     Arg.(value & opt float 500. & info [ "latency" ] ~docv:"NS"
@@ -71,7 +85,8 @@ let table1_cmd =
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce Table 1 (normalized insert rates).")
-    Term.(const run $ inserts_t $ capacity_t $ latency_t $ csv_t $ calibrate_t)
+    Term.(const run $ inserts_t $ capacity_t $ latency_t $ csv_t $ calibrate_t
+          $ jobs_t)
 
 (* fig3 *)
 
@@ -89,13 +104,15 @@ let fig3_chart (t : Experiments.Fig3.t) =
     ~title:"Figure 3: inserts/s vs persist latency (ns), log-log" series
 
 let fig3_cmd =
-  let run inserts capacity csv chart =
+  let run inserts capacity csv chart jobs =
     let t =
-      Experiments.Fig3.run ~total_inserts:inserts ~capacity_entries:capacity ()
+      Experiments.Fig3.run ~jobs ~total_inserts:inserts
+        ~capacity_entries:capacity ()
     in
     print_string
       (if csv then Experiments.Fig3.to_csv t else Experiments.Fig3.render t);
-    if chart then print_string (fig3_chart t)
+    if chart then print_string (fig3_chart t);
+    print_profile t.Experiments.Fig3.profile
   in
   let chart_t =
     Arg.(value & flag & info [ "chart" ]
@@ -103,7 +120,7 @@ let fig3_cmd =
   in
   Cmd.v
     (Cmd.info "fig3" ~doc:"Reproduce Figure 3 (throughput vs persist latency).")
-    Term.(const run $ inserts_t $ capacity_t $ csv_t $ chart_t)
+    Term.(const run $ inserts_t $ capacity_t $ csv_t $ chart_t $ jobs_t)
 
 (* cache: model vs BPFS-style implementation *)
 
@@ -122,25 +139,27 @@ let cache_cmd =
 (* consistency *)
 
 let consistency_cmd =
-  let run inserts capacity =
-    print_string
-      (Experiments.Consistency_exp.render
-         (Experiments.Consistency_exp.run ~total_inserts:inserts
-            ~capacity_entries:capacity ()))
+  let run inserts capacity jobs =
+    let t =
+      Experiments.Consistency_exp.run ~jobs ~total_inserts:inserts
+        ~capacity_entries:capacity ()
+    in
+    print_string (Experiments.Consistency_exp.render t);
+    print_profile t.Experiments.Consistency_exp.profile
   in
   Cmd.v
     (Cmd.info "consistency"
        ~doc:"Strict persistency under SC / TSO / RMO vs relaxed persistency \
              under SC (paper Section 5.1).")
-    Term.(const run $ inserts_t $ capacity_t)
+    Term.(const run $ inserts_t $ capacity_t $ jobs_t)
 
 (* wear *)
 
 let wear_cmd =
-  let run inserts =
-    print_string
-      (Experiments.Wear_exp.render
-         (Experiments.Wear_exp.run ~total_inserts:inserts ()))
+  let run inserts jobs =
+    let t = Experiments.Wear_exp.run ~jobs ~total_inserts:inserts () in
+    print_string (Experiments.Wear_exp.render t);
+    print_profile t.Experiments.Wear_exp.profile
   in
   let inserts_small_t =
     Arg.(value & opt int 2000 & info [ "inserts" ] ~docv:"N"
@@ -149,22 +168,23 @@ let wear_cmd =
   Cmd.v
     (Cmd.info "wear"
        ~doc:"NVRAM write counts per model, with and without coalescing.")
-    Term.(const run $ inserts_small_t)
+    Term.(const run $ inserts_small_t $ jobs_t)
 
 (* fig4 / fig5 *)
 
 let gran_cmd which name doc =
-  let run inserts capacity csv =
+  let run inserts capacity csv jobs =
     let t =
-      Experiments.Granularity.run ~total_inserts:inserts
+      Experiments.Granularity.run ~jobs ~total_inserts:inserts
         ~capacity_entries:capacity which
     in
     print_string
       (if csv then Experiments.Granularity.to_csv t
-       else Experiments.Granularity.render t)
+       else Experiments.Granularity.render t);
+    print_profile t.Experiments.Granularity.profile
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ inserts_t $ capacity_t $ csv_t)
+    Term.(const run $ inserts_t $ capacity_t $ csv_t $ jobs_t)
 
 let fig4_cmd =
   gran_cmd Experiments.Granularity.Atomic_persist "fig4"
@@ -177,17 +197,18 @@ let fig5_cmd =
 (* validate *)
 
 let validate_cmd =
-  let run inserts threads =
+  let run inserts threads jobs =
     let t =
-      Experiments.Validation.run ~threads ~total_inserts:inserts ()
+      Experiments.Validation.run ~jobs ~threads ~total_inserts:inserts ()
     in
-    print_string (Experiments.Validation.render t)
+    print_string (Experiments.Validation.render t);
+    print_profile t.Experiments.Validation.profile
   in
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Insert-distance distribution stability across schedules \
              (Section 7 validation).")
-    Term.(const run $ inserts_t $ threads_t 4)
+    Term.(const run $ inserts_t $ threads_t 4 $ jobs_t)
 
 (* recovery *)
 
@@ -319,40 +340,46 @@ let analyze_cmd =
 (* ablation *)
 
 let ablation_cmd =
-  let run which inserts =
+  let run which inserts jobs =
     let all = which = "all" in
+    let on_profile = print_profile in
     if all || which = "tso" then
       print_string
         (Experiments.Ablation.render_comparisons
            ~title:
              "Ablation A1: SC conflict ordering (baseline) vs BPFS/TSO \
               conflict detection (variant), cp/insert"
-           (Experiments.Ablation.tso_conflicts ~total_inserts:inserts ()));
+           (Experiments.Ablation.tso_conflicts ~jobs ~on_profile
+              ~total_inserts:inserts ()));
     if all || which = "spaces" then
       print_string
         (Experiments.Ablation.render_comparisons
            ~title:
              "\nAblation A2: conflicts in both spaces (baseline) vs \
               persistent-only (variant), cp/insert"
-           (Experiments.Ablation.conflict_spaces ~total_inserts:inserts ()));
+           (Experiments.Ablation.conflict_spaces ~jobs ~on_profile
+              ~total_inserts:inserts ()));
     if all || which = "coalesce" then
       print_string
         (Experiments.Ablation.render_comparisons
            ~title:
              "\nAblation A4: coalescing on (baseline) vs off (variant), \
               cp/insert, CWL 1 thread"
-           (Experiments.Ablation.coalescing ~total_inserts:inserts ()));
+           (Experiments.Ablation.coalescing ~jobs ~on_profile
+              ~total_inserts:inserts ()));
     if all || which = "buffer" then
       print_string
         (Experiments.Ablation.render_buffer
-           (Experiments.Ablation.buffer_depth ()));
+           (Experiments.Ablation.buffer_depth ~jobs ~on_profile ()));
     if all || which = "sync" then
       print_string
-        (Experiments.Ablation.render_sync (Experiments.Ablation.persist_sync ()));
+        (Experiments.Ablation.render_sync
+           (Experiments.Ablation.persist_sync ~jobs ~on_profile ()));
     if all || which = "capacity" then
       print_string
         (Experiments.Ablation.render_capacity
-           (Experiments.Ablation.capacity ~total_inserts:inserts ()))
+           (Experiments.Ablation.capacity ~jobs ~on_profile
+              ~total_inserts:inserts ()))
   in
   let which_t =
     Arg.(value & opt string "all" & info [ "which" ] ~docv:"NAME"
@@ -360,7 +387,7 @@ let ablation_cmd =
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"Run the DESIGN.md ablations (A1-A5).")
-    Term.(const run $ which_t $ inserts_t)
+    Term.(const run $ which_t $ inserts_t $ jobs_t)
 
 (* calibrate *)
 

@@ -152,6 +152,22 @@ let reach t i =
 
 let required_ordered t i j = i <> j && (reach t i).(j)
 
+let critical_path t =
+  let persists = Array.of_list t.persists in
+  let p = Array.length persists in
+  let lvl = Array.make p 0 in
+  let best = ref 0 in
+  for j = 0 to p - 1 do
+    let d = ref 0 in
+    for i = 0 to j - 1 do
+      if lvl.(i) > !d && required_ordered t persists.(i) persists.(j) then
+        d := lvl.(i)
+    done;
+    lvl.(j) <- !d + 1;
+    if lvl.(j) > !best then best := lvl.(j)
+  done;
+  !best
+
 let verify_engine (cfg : Config.t) trace =
   let cfg = { cfg with Config.record_graph = true } in
   let engine = Engine.create cfg in

@@ -30,6 +30,17 @@ val required_ordered : t -> int -> int -> bool
 (** [required_ordered t i j] (trace indices, [i < j]): persistent
     memory order requires event [i]'s persist before event [j]'s. *)
 
+val critical_path : t -> int
+(** Longest chain of required-ordered persist events — the persist
+    ordering-constraint critical path computed independently of the
+    engine, by longest-path dynamic programming over the closed order.
+    Coalescing merges persists {e within} a level without shortening
+    any chain of distinct levels, so this must equal
+    {!Engine.critical_path} when the engine runs with
+    [coalescing = false] (the differential fuzz check in
+    [test/test_fuzz.ml]); with coalescing the engine's value can only
+    be lower or equal. *)
+
 val verify_engine : Config.t -> Memsim.Trace.t -> (unit, string) result
 (** Re-run the engine with graph recording over [trace] and check its
     node assignment and levels against the oracle.  Also checks graph

@@ -8,34 +8,52 @@ let epoch_points = [ Run.epoch_point; Run.racing_point ]
 
 let cp params cfg = (Run.analyze params cfg).Run.cp_per_insert
 
-let flag_comparison ~make_variant ?(threads = 4) ?total_inserts () =
-  List.concat_map
-    (fun design ->
-      List.map
-        (fun (point : Run.model_point) ->
-          let params = Run.queue_params ~design ~threads ?total_inserts point in
-          let base_cfg = Persistency.Config.make point.Run.mode in
-          { label =
-              Printf.sprintf "%s/%s/%dT"
-                (Workloads.Queue.design_name design)
-                point.Run.label threads;
-            baseline = cp params base_cfg;
-            variant = cp params (make_variant point.Run.mode) })
-        epoch_points)
-    [ Workloads.Queue.Cwl; Workloads.Queue.Tlc ]
+(* Each ablation enumerates its sweep as a cell list and maps it
+   through the domain pool; [on_profile] receives the sweep timing
+   (the CLI prints it as the sweep-profile footer). *)
+let pool_map ?(jobs = 1) ?(on_profile = fun _ -> ()) ~label f cells =
+  let results, profile =
+    Parallel.Pool.map_cells_profiled ~domains:jobs ~label f cells
+  in
+  on_profile profile;
+  results
 
-let tso_conflicts ?threads ?total_inserts () =
+let flag_comparison ~make_variant ?jobs ?on_profile ?(threads = 4)
+    ?total_inserts () =
+  let sweep =
+    List.concat_map
+      (fun design -> List.map (fun p -> (design, p)) epoch_points)
+      [ Workloads.Queue.Cwl; Workloads.Queue.Tlc ]
+  in
+  pool_map ?jobs ?on_profile
+    ~label:(fun _ (design, (point : Run.model_point)) ->
+      Printf.sprintf "%s/%s/%dT"
+        (Workloads.Queue.design_name design)
+        point.Run.label threads)
+    (fun (design, (point : Run.model_point)) ->
+      let params = Run.queue_params ~design ~threads ?total_inserts point in
+      let base_cfg = Persistency.Config.make point.Run.mode in
+      { label =
+          Printf.sprintf "%s/%s/%dT"
+            (Workloads.Queue.design_name design)
+            point.Run.label threads;
+        baseline = cp params base_cfg;
+        variant = cp params (make_variant point.Run.mode) })
+    sweep
+
+let tso_conflicts ?jobs ?on_profile ?threads ?total_inserts () =
   flag_comparison
     ~make_variant:(Persistency.Config.make ~tso_conflicts:true)
-    ?threads ?total_inserts ()
+    ?jobs ?on_profile ?threads ?total_inserts ()
 
-let conflict_spaces ?threads ?total_inserts () =
+let conflict_spaces ?jobs ?on_profile ?threads ?total_inserts () =
   flag_comparison
     ~make_variant:(Persistency.Config.make ~persistent_only_conflicts:true)
-    ?threads ?total_inserts ()
+    ?jobs ?on_profile ?threads ?total_inserts ()
 
-let coalescing ?total_inserts () =
-  List.map
+let coalescing ?jobs ?on_profile ?total_inserts () =
+  pool_map ?jobs ?on_profile
+    ~label:(fun _ (point : Run.model_point) -> point.Run.label)
     (fun (point : Run.model_point) ->
       let params = Run.queue_params ?total_inserts point in
       { label = point.Run.label;
@@ -49,21 +67,25 @@ type buffer_point = {
   by_model : (string * float) list;
 }
 
-let buffer_depth ?(total_inserts = 2000) ?(depths = [ 1; 2; 4; 8; 16; 64; 256 ])
-    ?(latency_ns = 500.) () =
+(* Graph-recording analysis cells shared by A3 and the sync ablation:
+   one per Fig3 model, the expensive part of both sweeps. *)
+let model_graphs ?jobs ?on_profile ~total_inserts () =
+  pool_map ?jobs ?on_profile
+    ~label:(fun _ (point : Run.model_point) -> point.Run.label)
+    (fun (point : Run.model_point) ->
+      let params = Run.queue_params ~total_inserts point in
+      let _, graph, _ =
+        Run.analyze_with_graph params (Persistency.Config.make point.Run.mode)
+      in
+      (point.Run.label, graph))
+    Run.fig3_models
+
+let buffer_depth ?jobs ?on_profile ?(total_inserts = 2000)
+    ?(depths = [ 1; 2; 4; 8; 16; 64; 256 ]) ?(latency_ns = 500.) () =
   let insn_ns =
     Calibrate.default_insn_ns ~design:Workloads.Queue.Cwl ~threads:1
   in
-  let graphs =
-    List.map
-      (fun (point : Run.model_point) ->
-        let params = Run.queue_params ~total_inserts point in
-        let _, graph, _ =
-          Run.analyze_with_graph params (Persistency.Config.make point.Run.mode)
-        in
-        (point.Run.label, graph))
-      Run.fig3_models
-  in
+  let graphs = model_graphs ?jobs ?on_profile ~total_inserts () in
   List.map
     (fun depth ->
       { depth;
@@ -83,22 +105,13 @@ type sync_point = {
   by_model : (string * float) list;
 }
 
-let persist_sync ?(total_inserts = 2000)
+let persist_sync ?jobs ?on_profile ?(total_inserts = 2000)
     ?(intervals = [ Some 1; Some 4; Some 16; Some 64; None ])
     ?(latency_ns = 500.) () =
   let insn_ns =
     Calibrate.default_insn_ns ~design:Workloads.Queue.Cwl ~threads:1
   in
-  let graphs =
-    List.map
-      (fun (point : Run.model_point) ->
-        let params = Run.queue_params ~total_inserts point in
-        let _, graph, _ =
-          Run.analyze_with_graph params (Persistency.Config.make point.Run.mode)
-        in
-        (point.Run.label, graph))
-      Run.fig3_models
-  in
+  let graphs = model_graphs ?jobs ?on_profile ~total_inserts () in
   List.map
     (fun sync_every ->
       { sync_every;
@@ -138,8 +151,10 @@ let render_sync (points : sync_point list) =
       "Persist sync (paper 4.1): throughput vs sync frequency (CWL, 1 thread, 500 ns)\n\n%s"
       (Report.Table.render table)
 
-let capacity ?(capacities = [ 8; 16; 24; 32; 48; 64; 128 ]) ?total_inserts () =
-  List.map
+let capacity ?jobs ?on_profile ?(capacities = [ 8; 16; 24; 32; 48; 64; 128 ])
+    ?total_inserts () =
+  pool_map ?jobs ?on_profile
+    ~label:(fun _ cap -> Printf.sprintf "capacity %d" cap)
     (fun capacity_entries ->
       let params =
         Run.queue_params ~capacity_entries ?total_inserts Run.strand_point

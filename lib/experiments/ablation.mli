@@ -24,17 +24,26 @@ type comparison = {
   variant : float;
 }
 
+(** Every sweep below runs its cells through {!Parallel.Pool}: [jobs]
+    sets the domain count (default 1 = sequential; results identical
+    for any value) and [on_profile] receives the sweep timing (the CLI
+    prints it as the sweep-profile footer). *)
+
 val tso_conflicts :
+  ?jobs:int -> ?on_profile:(Parallel.Pool.profile -> unit) ->
   ?threads:int -> ?total_inserts:int -> unit -> comparison list
 (** cp/insert, SC conflicts (baseline) vs TSO conflicts (variant), for
     the epoch-model points on both queue designs. *)
 
 val conflict_spaces :
+  ?jobs:int -> ?on_profile:(Parallel.Pool.profile -> unit) ->
   ?threads:int -> ?total_inserts:int -> unit -> comparison list
 (** cp/insert, both-spaces conflicts (baseline) vs persistent-only
     (variant). *)
 
-val coalescing : ?total_inserts:int -> unit -> comparison list
+val coalescing :
+  ?jobs:int -> ?on_profile:(Parallel.Pool.profile -> unit) ->
+  ?total_inserts:int -> unit -> comparison list
 (** cp/insert with coalescing (baseline) vs without (variant), per
     model, CWL 1 thread. *)
 
@@ -44,6 +53,8 @@ type buffer_point = {
 }
 
 val buffer_depth :
+  ?jobs:int ->
+  ?on_profile:(Parallel.Pool.profile -> unit) ->
   ?total_inserts:int ->
   ?depths:int list ->
   ?latency_ns:float ->
@@ -57,6 +68,8 @@ type sync_point = {
 }
 
 val persist_sync :
+  ?jobs:int ->
+  ?on_profile:(Parallel.Pool.profile -> unit) ->
   ?total_inserts:int ->
   ?intervals:int option list ->
   ?latency_ns:float ->
@@ -70,6 +83,7 @@ val persist_sync :
 val render_sync : sync_point list -> string
 
 val capacity :
+  ?jobs:int -> ?on_profile:(Parallel.Pool.profile -> unit) ->
   ?capacities:int list -> ?total_inserts:int -> unit -> (int * float) list
 (** Strand cp/insert per data-segment capacity (entries). *)
 

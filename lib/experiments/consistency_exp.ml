@@ -32,33 +32,45 @@ let points =
       cfg = Persistency.Config.make Persistency.Config.Strand;
       annotation = Workloads.Queue.Strand } ]
 
-let run ?total_inserts ?capacity_entries ?(latency_ns = 500.) () =
-  List.concat_map
-    (fun threads ->
-      List.map
-        (fun point ->
-          let params =
-            Run.queue_params ~threads ?total_inserts ?capacity_entries
-              { Run.label = point.label;
-                mode = point.cfg.Persistency.Config.mode;
-                annotation = point.annotation }
-          in
-          let m = Run.analyze params point.cfg in
-          let timing =
-            { Nvram.Timing.ops = m.Run.inserts;
-              critical_path = m.Run.critical_path;
-              insn_ns_per_op =
-                Calibrate.default_insn_ns ~design:Workloads.Queue.Cwl ~threads;
-              persist_latency_ns = latency_ns }
-          in
-          { label = point.label;
-            threads;
-            cp_per_insert = m.Run.cp_per_insert;
-            normalized = Nvram.Timing.normalized timing })
-        points)
-    [ 1; 8 ]
+type t = {
+  rows : row list;
+  profile : Parallel.Pool.profile;
+}
 
-let render rows =
+let run ?(jobs = 1) ?total_inserts ?capacity_entries ?(latency_ns = 500.) () =
+  let sweep =
+    List.concat_map
+      (fun threads -> List.map (fun point -> (threads, point)) points)
+      [ 1; 8 ]
+  in
+  let rows, profile =
+    Parallel.Pool.map_cells_profiled ~domains:jobs
+      ~label:(fun _ (threads, point) ->
+        Printf.sprintf "%s/%dT" point.label threads)
+      (fun (threads, point) ->
+        let params =
+          Run.queue_params ~threads ?total_inserts ?capacity_entries
+            { Run.label = point.label;
+              mode = point.cfg.Persistency.Config.mode;
+              annotation = point.annotation }
+        in
+        let m = Run.analyze params point.cfg in
+        let timing =
+          { Nvram.Timing.ops = m.Run.inserts;
+            critical_path = m.Run.critical_path;
+            insn_ns_per_op =
+              Calibrate.default_insn_ns ~design:Workloads.Queue.Cwl ~threads;
+            persist_latency_ns = latency_ns }
+        in
+        { label = point.label;
+          threads;
+          cp_per_insert = m.Run.cp_per_insert;
+          normalized = Nvram.Timing.normalized timing })
+      sweep
+  in
+  { rows; profile }
+
+let render { rows; _ } =
   let table =
     Report.Table.create
       ~columns:

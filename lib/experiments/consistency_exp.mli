@@ -19,14 +19,21 @@ type row = {
   normalized : float;  (** at 500 ns persists, calibrated insn rate *)
 }
 
+type t = {
+  rows : row list;
+  profile : Parallel.Pool.profile;  (** one cell per threads×point *)
+}
+
 val run :
+  ?jobs:int ->
   ?total_inserts:int ->
   ?capacity_entries:int ->
   ?latency_ns:float ->
   unit ->
-  row list
+  t
 (** CWL at 1 and 8 threads under: strict/SC (no annotations),
     strict/TSO and strict/RMO (epoch-point barriers read as fences),
-    epoch/SC, and strand/SC. *)
+    epoch/SC, and strand/SC.  [jobs] domains (default 1, results
+    identical for any value). *)
 
-val render : row list -> string
+val render : t -> string

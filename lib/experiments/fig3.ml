@@ -9,17 +9,19 @@ type t = {
   insn_ns : float;
   latencies_ns : float list;
   series : series list;
+  profile : Parallel.Pool.profile;
 }
 
 let default_latencies =
   (* Four points per decade, 10 ns .. 100 us. *)
   List.init 17 (fun i -> 10. *. (10. ** (float_of_int i /. 4.)))
 
-let run ?total_inserts ?capacity_entries
+let run ?(jobs = 1) ?total_inserts ?capacity_entries
     ?(insn_ns = Calibrate.default_insn_ns ~design:Workloads.Queue.Cwl ~threads:1)
     ?(latencies_ns = default_latencies) () =
-  let series =
-    List.map
+  let series, profile =
+    Parallel.Pool.map_cells_profiled ~domains:jobs
+      ~label:(fun _ (p : Run.model_point) -> p.Run.label)
       (fun (point : Run.model_point) ->
         let params = Run.queue_params ?total_inserts ?capacity_entries point in
         let cfg = Persistency.Config.make point.Run.mode in
@@ -44,7 +46,7 @@ let run ?total_inserts ?capacity_entries
           rates })
       Run.fig3_models
   in
-  { insn_ns; latencies_ns; series }
+  { insn_ns; latencies_ns; series; profile }
 
 let render t =
   let columns =

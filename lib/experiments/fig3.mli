@@ -16,16 +16,20 @@ type t = {
   insn_ns : float;
   latencies_ns : float list;
   series : series list;
+  profile : Parallel.Pool.profile;  (** one cell per model *)
 }
 
 val run :
+  ?jobs:int ->
   ?total_inserts:int ->
   ?capacity_entries:int ->
   ?insn_ns:float ->
   ?latencies_ns:float list ->
   unit ->
   t
-(** Default latency grid: log-spaced 10 ns – 100 µs. *)
+(** Default latency grid: log-spaced 10 ns – 100 µs.  [jobs] is the
+    domain count for the sweep (default 1 = sequential); results are
+    identical for any value. *)
 
 val render : t -> string
 val to_csv : t -> string

@@ -10,6 +10,7 @@ type point = {
 type t = {
   which : which;
   points : point list;
+  profile : Parallel.Pool.profile;
 }
 
 let figure_name = function
@@ -23,25 +24,33 @@ let config_for which point gran =
   | Atomic_persist -> Persistency.Config.make ~persist_gran:gran point.Run.mode
   | Tracking -> Persistency.Config.make ~track_gran:gran point.Run.mode
 
-let run ?total_inserts ?capacity_entries ?(grans = [ 8; 16; 32; 64; 128; 256 ])
-    which =
+let run ?(jobs = 1) ?total_inserts ?capacity_entries
+    ?(grans = [ 8; 16; 32; 64; 128; 256 ]) which =
+  (* One cell per granularity × model; regrouped into rows afterwards. *)
+  let sweep =
+    List.concat_map (fun gran -> List.map (fun p -> (gran, p)) models) grans
+  in
+  let values, profile =
+    Parallel.Pool.map_cells_profiled ~domains:jobs
+      ~label:(fun _ (gran, (point : Run.model_point)) ->
+        Printf.sprintf "%dB/%s" gran point.Run.label)
+      (fun (gran, (point : Run.model_point)) ->
+        let params = Run.queue_params ?total_inserts ?capacity_entries point in
+        let m = Run.analyze params (config_for which point gran) in
+        (gran, point.Run.label, m.Run.cp_per_insert))
+      sweep
+  in
   let points =
     List.map
       (fun gran ->
-        let by_model =
-          List.map
-            (fun (point : Run.model_point) ->
-              let params =
-                Run.queue_params ?total_inserts ?capacity_entries point
-              in
-              let m = Run.analyze params (config_for which point gran) in
-              (point.Run.label, m.Run.cp_per_insert))
-            models
-        in
-        { gran; by_model })
+        { gran;
+          by_model =
+            List.filter_map
+              (fun (g, label, cp) -> if g = gran then Some (label, cp) else None)
+              values })
       grans
   in
-  { which; points }
+  { which; points; profile }
 
 let render t =
   let model_names = List.map (fun (p : Run.model_point) -> p.Run.label) models in

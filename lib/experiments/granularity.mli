@@ -23,15 +23,19 @@ type point = {
 type t = {
   which : which;
   points : point list;
+  profile : Parallel.Pool.profile;  (** one cell per granularity×model *)
 }
 
 val run :
+  ?jobs:int ->
   ?total_inserts:int ->
   ?capacity_entries:int ->
   ?grans:int list ->
   which ->
   t
-(** Default granularities: 8, 16, 32, 64, 128, 256 bytes. *)
+(** Default granularities: 8, 16, 32, 64, 128, 256 bytes; [jobs]
+    domains for the sweep (default 1, results identical for any
+    value). *)
 
 val figure_name : which -> string
 val render : t -> string

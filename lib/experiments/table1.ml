@@ -11,42 +11,52 @@ type t = {
   latency_ns : float;
   insn_ns : Workloads.Queue.design -> int -> float;
   cells : cell list;
+  profile : Parallel.Pool.profile;
 }
 
-let run ?total_inserts ?capacity_entries ?(latency_ns = 500.)
+let run ?(jobs = 1) ?total_inserts ?capacity_entries ?(latency_ns = 500.)
     ?(insn_ns = fun design threads -> Calibrate.default_insn_ns ~design ~threads)
     ?(threads_list = [ 1; 8 ]) () =
-  let cells =
+  let sweep =
     List.concat_map
       (fun design ->
         List.concat_map
           (fun threads ->
             List.map
-              (fun (point : Run.model_point) ->
-                let params =
-                  Run.queue_params ~design ~threads ?total_inserts
-                    ?capacity_entries point
-                in
-                let cfg = Persistency.Config.make point.Run.mode in
-                let m = Run.analyze params cfg in
-                let timing =
-                  { Nvram.Timing.ops = m.Run.inserts;
-                    critical_path = m.Run.critical_path;
-                    insn_ns_per_op = insn_ns design threads;
-                    persist_latency_ns = latency_ns }
-                in
-                let normalized = Nvram.Timing.normalized timing in
-                { design;
-                  model = point.Run.label;
-                  threads;
-                  cp_per_insert = m.Run.cp_per_insert;
-                  normalized;
-                  compute_bound = normalized >= 1. })
+              (fun (point : Run.model_point) -> (design, threads, point))
               Run.table1_models)
           threads_list)
       [ Workloads.Queue.Cwl; Workloads.Queue.Tlc ]
   in
-  { latency_ns; insn_ns; cells }
+  let cells, profile =
+    Parallel.Pool.map_cells_profiled ~domains:jobs
+      ~label:(fun _ (design, threads, (point : Run.model_point)) ->
+        Printf.sprintf "%s/%s/%dT"
+          (Workloads.Queue.design_name design)
+          point.Run.label threads)
+      (fun (design, threads, (point : Run.model_point)) ->
+        let params =
+          Run.queue_params ~design ~threads ?total_inserts ?capacity_entries
+            point
+        in
+        let cfg = Persistency.Config.make point.Run.mode in
+        let m = Run.analyze params cfg in
+        let timing =
+          { Nvram.Timing.ops = m.Run.inserts;
+            critical_path = m.Run.critical_path;
+            insn_ns_per_op = insn_ns design threads;
+            persist_latency_ns = latency_ns }
+        in
+        let normalized = Nvram.Timing.normalized timing in
+        { design;
+          model = point.Run.label;
+          threads;
+          cp_per_insert = m.Run.cp_per_insert;
+          normalized;
+          compute_bound = normalized >= 1. })
+      sweep
+  in
+  { latency_ns; insn_ns; cells; profile }
 
 let cell t design model threads =
   List.find_opt

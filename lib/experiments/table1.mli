@@ -16,9 +16,11 @@ type t = {
   latency_ns : float;
   insn_ns : Workloads.Queue.design -> int -> float;
   cells : cell list;
+  profile : Parallel.Pool.profile;  (** one cell per design×threads×model *)
 }
 
 val run :
+  ?jobs:int ->
   ?total_inserts:int ->
   ?capacity_entries:int ->
   ?latency_ns:float ->
@@ -28,7 +30,8 @@ val run :
   t
 (** Defaults: experiment defaults from {!Run}, 500 ns persists,
     calibrated instruction costs from {!Calibrate.default_insn_ns},
-    threads 1 and 8. *)
+    threads 1 and 8, sequential sweep ([jobs = 1]); results are
+    identical for any [jobs]. *)
 
 val cell : t -> Workloads.Queue.design -> string -> int -> cell option
 

@@ -6,6 +6,7 @@ type sample = {
 type t = {
   samples : sample list;
   max_tvd : float;
+  profile : Parallel.Pool.profile;
 }
 
 let insert_distances order =
@@ -27,9 +28,9 @@ let histogram_of order =
   List.iter (fun (_, d) -> Pstats.Histogram.add h d) (insert_distances order);
   h
 
-let run ?(design = Workloads.Queue.Cwl) ?(threads = 4) ?total_inserts
-    ?(seeds = [ 1; 2; 3; 4; 5 ]) () =
-  let sample label policy seed =
+let run ?(jobs = 1) ?(design = Workloads.Queue.Cwl) ?(threads = 4)
+    ?total_inserts ?(seeds = [ 1; 2; 3; 4; 5 ]) () =
+  let sample (label, policy, seed) =
     let params =
       { (Run.queue_params ~design ~threads ?total_inserts Run.epoch_point) with
         Workloads.Queue.policy;
@@ -38,13 +39,23 @@ let run ?(design = Workloads.Queue.Cwl) ?(threads = 4) ?total_inserts
     let m = Run.analyze params (Persistency.Config.make Persistency.Config.Epoch) in
     { label; histogram = histogram_of m.Run.insert_order }
   in
-  let random_samples =
-    List.map
-      (fun seed ->
-        sample (Printf.sprintf "random(%d)" seed) (Memsim.Machine.Random seed) seed)
-      seeds
+  let cells =
+    ("round-robin", Memsim.Machine.Round_robin, 0)
+    :: List.map
+         (fun seed ->
+           (Printf.sprintf "random(%d)" seed, Memsim.Machine.Random seed, seed))
+         seeds
   in
-  let rr = sample "round-robin" Memsim.Machine.Round_robin 0 in
+  let samples, profile =
+    Parallel.Pool.map_cells_profiled ~domains:jobs
+      ~label:(fun _ (l, _, _) -> l)
+      sample cells
+  in
+  let rr, random_samples =
+    match samples with
+    | rr :: rest -> (rr, rest)
+    | [] -> assert false
+  in
   let max_tvd =
     List.fold_left
       (fun acc a ->
@@ -58,7 +69,7 @@ let run ?(design = Workloads.Queue.Cwl) ?(threads = 4) ?total_inserts
           acc random_samples)
       0. random_samples
   in
-  { samples = rr :: random_samples; max_tvd }
+  { samples = rr :: random_samples; max_tvd; profile }
 
 let render t =
   let buf = Buffer.create 256 in

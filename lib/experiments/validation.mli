@@ -18,6 +18,7 @@ type t = {
   max_tvd : float;
       (** largest total-variation distance between any two seeded
           random schedules *)
+  profile : Parallel.Pool.profile;  (** one cell per schedule *)
 }
 
 val insert_distances : int list -> (int * int) list
@@ -25,6 +26,7 @@ val insert_distances : int list -> (int * int) list
     commit-order thread-id list. *)
 
 val run :
+  ?jobs:int ->
   ?design:Workloads.Queue.design ->
   ?threads:int ->
   ?total_inserts:int ->
@@ -32,6 +34,7 @@ val run :
   unit ->
   t
 (** Defaults: CWL, 4 threads, experiment default insert count, random
-    schedules seeded 1–5 plus round-robin. *)
+    schedules seeded 1–5 plus round-robin, sequential sweep
+    ([jobs = 1]). *)
 
 val render : t -> string

@@ -4,22 +4,45 @@ type row = {
   no_coalescing : Nvram.Wear.t;
 }
 
+type t = {
+  rows : row list;
+  profile : Parallel.Pool.profile;
+}
+
 let wear_of params cfg =
   let _, graph, _ = Run.analyze_with_graph params cfg in
   Nvram.Wear.of_graph graph
 
-let run ?(total_inserts = 2000) () =
-  List.map
-    (fun (point : Run.model_point) ->
-      let params = Run.queue_params ~total_inserts point in
-      { label = point.Run.label;
-        coalescing = wear_of params (Persistency.Config.make point.Run.mode);
-        no_coalescing =
-          wear_of params
-            (Persistency.Config.make ~coalescing:false point.Run.mode) })
-    Run.table1_models
+let run ?(jobs = 1) ?(total_inserts = 2000) () =
+  (* One cell per model × coalescing flag: the graph-recording runs are
+     the expensive part and are independent. *)
+  let sweep =
+    List.concat_map
+      (fun (point : Run.model_point) ->
+        [ (point, true); (point, false) ])
+      Run.table1_models
+  in
+  let wears, profile =
+    Parallel.Pool.map_cells_profiled ~domains:jobs
+      ~label:(fun _ ((point : Run.model_point), coalescing) ->
+        Printf.sprintf "%s%s" point.Run.label
+          (if coalescing then "" else "/no-coalesce"))
+      (fun ((point : Run.model_point), coalescing) ->
+        let params = Run.queue_params ~total_inserts point in
+        wear_of params (Persistency.Config.make ~coalescing point.Run.mode))
+      sweep
+  in
+  let rec pair_up points wears =
+    match points, wears with
+    | [], [] -> []
+    | (point : Run.model_point) :: ps, w_on :: w_off :: ws ->
+      { label = point.Run.label; coalescing = w_on; no_coalescing = w_off }
+      :: pair_up ps ws
+    | _ -> assert false
+  in
+  { rows = pair_up Run.table1_models wears; profile }
 
-let render rows =
+let render { rows; _ } =
   let table =
     Report.Table.create
       ~columns:

@@ -12,8 +12,14 @@ type row = {
   no_coalescing : Nvram.Wear.t;
 }
 
-val run : ?total_inserts:int -> unit -> row list
-(** CWL, 1 thread, every model point; graph-recording runs, so the
-    default scale is modest (2 000 inserts). *)
+type t = {
+  rows : row list;
+  profile : Parallel.Pool.profile;  (** one cell per model×coalescing *)
+}
 
-val render : row list -> string
+val run : ?jobs:int -> ?total_inserts:int -> unit -> t
+(** CWL, 1 thread, every model point; graph-recording runs, so the
+    default scale is modest (2 000 inserts).  [jobs] domains (default
+    1, results identical for any value). *)
+
+val render : t -> string

@@ -1,0 +1,185 @@
+exception Cell_error of {
+  index : int;
+  label : string;
+  message : string;
+  backtrace : string;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Cell_error { index; label; message; _ } ->
+      Some
+        (Printf.sprintf "Pool.Cell_error(cell %d, %s): %s" index label message)
+    | _ -> None)
+
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+type profile = {
+  domains : int;
+  wall_seconds : float;
+  cells : (string * float) list;
+}
+
+(* A cell's outcome.  [Failed] keeps the printed form rather than the
+   exception value so nothing domain-local escapes a worker. *)
+type 'b slot =
+  | Pending
+  | Done of 'b
+  | Failed of { message : string; backtrace : string }
+
+let now () = Unix.gettimeofday ()
+
+let run_cell f cell =
+  let t0 = now () in
+  let outcome =
+    match f cell with
+    | v -> Done v
+    | exception e ->
+      let backtrace = Printexc.get_backtrace () in
+      Failed { message = Printexc.to_string e; backtrace }
+  in
+  (outcome, now () -. t0)
+
+(* Per-worker deque of cell indices.  The owner pops from the front
+   (keeping its share in input order, the cache-friendly direction);
+   thieves steal from the back.  Cells are coarse — whole
+   trace-and-analyze pipelines — so a mutex per deque is plenty. *)
+type deque = {
+  items : int array;
+  mutable lo : int;
+  mutable hi : int;  (* live range: items.(lo .. hi - 1) *)
+  mu : Mutex.t;
+}
+
+let pop_front d =
+  Mutex.lock d.mu;
+  let r = if d.lo < d.hi then (let i = d.items.(d.lo) in d.lo <- d.lo + 1; Some i)
+          else None
+  in
+  Mutex.unlock d.mu;
+  r
+
+let steal_back d =
+  Mutex.lock d.mu;
+  let r = if d.lo < d.hi then (d.hi <- d.hi - 1; Some d.items.(d.hi))
+          else None
+  in
+  Mutex.unlock d.mu;
+  r
+
+let collect ~label cells slots =
+  let n = Array.length slots in
+  let first_failure = ref None in
+  let results =
+    List.init n (fun i ->
+        match slots.(i) with
+        | Done v -> Some v
+        | Failed { message; backtrace } ->
+          if !first_failure = None then
+            first_failure :=
+              Some
+                (Cell_error
+                   { index = i; label = label i cells.(i); message; backtrace });
+          None
+        | Pending -> assert false)
+  in
+  (match !first_failure with Some e -> raise e | None -> ());
+  List.map Option.get results
+
+let map_cells_profiled ?domains ?(label = fun i _ -> Printf.sprintf "cell %d" i)
+    f cell_list =
+  let cells = Array.of_list cell_list in
+  let n = Array.length cells in
+  let requested =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  let workers = max 1 (min requested n) in
+  let slots = Array.make n Pending in
+  let times = Array.make n 0. in
+  let t0 = now () in
+  if workers <= 1 then
+    (* Sequential fallback: no domain is spawned, cells run in input
+       order in the calling domain. *)
+    Array.iteri
+      (fun i cell ->
+        let outcome, dt = run_cell f cell in
+        slots.(i) <- outcome;
+        times.(i) <- dt)
+      cells
+  else begin
+    let deques =
+      Array.init workers (fun w ->
+          (* worker w owns cells w, w + workers, w + 2*workers, ... *)
+          let mine = ref [] in
+          for i = n - 1 downto 0 do
+            if i mod workers = w then mine := i :: !mine
+          done;
+          let items = Array.of_list !mine in
+          { items; lo = 0; hi = Array.length items; mu = Mutex.create () })
+    in
+    let work w =
+      let rec next () =
+        match pop_front deques.(w) with
+        | Some i -> Some i
+        | None ->
+          (* own deque drained: steal, scanning victims round-robin *)
+          let rec scan k =
+            if k = workers then None
+            else
+              match steal_back deques.((w + k) mod workers) with
+              | Some i -> Some i
+              | None -> scan (k + 1)
+          in
+          scan 1
+      and loop () =
+        match next () with
+        | None -> ()
+        | Some i ->
+          let outcome, dt = run_cell f cells.(i) in
+          slots.(i) <- outcome;
+          times.(i) <- dt;
+          loop ()
+      in
+      loop ()
+    in
+    let spawned =
+      Array.init (workers - 1) (fun k -> Domain.spawn (fun () -> work (k + 1)))
+    in
+    work 0;
+    Array.iter Domain.join spawned
+  end;
+  let wall_seconds = now () -. t0 in
+  let results = collect ~label cells slots in
+  let profile =
+    { domains = workers;
+      wall_seconds;
+      cells = List.init n (fun i -> (label i cells.(i), times.(i))) }
+  in
+  (results, profile)
+
+let map_cells ?domains ?label f cell_list =
+  fst (map_cells_profiled ?domains ?label f cell_list)
+
+let profile_summary p = Pstats.Summary.of_list (List.map snd p.cells)
+
+let render_profile p =
+  match p.cells with
+  | [] -> Printf.sprintf "sweep profile: 0 cells on %d domain(s)\n" p.domains
+  | _ ->
+    let s = profile_summary p in
+    let total = Pstats.Summary.total s in
+    let slowest =
+      List.fold_left
+        (fun (bl, bt) (l, t) -> if t > bt then (l, t) else (bl, bt))
+        ("", neg_infinity) p.cells
+    in
+    let speedup = if p.wall_seconds > 0. then total /. p.wall_seconds else 1. in
+    Printf.sprintf
+      "sweep profile: %d cells on %d domain(s): wall %.3f s, cells sum %.3f s \
+       (speedup %.2fx)\n\
+      \  per cell: mean %.3f s, min %.3f s, max %.3f s; slowest %s (%.3f s)\n"
+      (Pstats.Summary.count s) p.domains p.wall_seconds total speedup
+      (Pstats.Summary.mean s)
+      (Pstats.Summary.min_value s)
+      (Pstats.Summary.max_value s)
+      (fst slowest) (snd slowest)

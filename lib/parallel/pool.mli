@@ -1,0 +1,60 @@
+(** Fixed-size work-stealing domain pool for experiment sweeps.
+
+    Every experiment driver enumerates a configuration sweep as a list
+    of independent cells — each cell builds its own machine and engine,
+    so no mutable state crosses cells.  [map_cells] executes the cells
+    on OCaml 5 domains while preserving the input order of results, so
+    a parallel sweep is observationally identical to the sequential
+    one: per-cell outputs are byte-identical, only wall-clock changes.
+
+    Scheduling: cells are dealt round-robin onto per-worker deques;
+    each worker drains its own deque front-to-back and, when empty,
+    steals from the back of a victim's deque.  With [domains <= 1] (or
+    at most one cell) no domain is spawned at all and the cells run
+    sequentially in the calling domain, in order.
+
+    Failure: a raising cell does not abort the sweep; the remaining
+    cells still execute, and after the join the exception of the
+    {e lowest-indexed} failing cell is re-raised as {!Cell_error} —
+    deterministic no matter how the domains interleaved. *)
+
+exception Cell_error of {
+  index : int;  (** position of the failing cell in the input list *)
+  label : string;  (** cell description, from [?label] *)
+  message : string;  (** [Printexc.to_string] of the cell's exception *)
+  backtrace : string;
+}
+
+val default_domains : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]: leave one core
+    for the rest of the system.  The CLI's [--jobs] default. *)
+
+(** Wall-clock accounting of one sweep, for the "sweep profile"
+    footer.  [cells] is in input order. *)
+type profile = {
+  domains : int;  (** worker domains actually used (1 = sequential) *)
+  wall_seconds : float;  (** whole-sweep wall clock *)
+  cells : (string * float) list;  (** (label, cell wall-clock seconds) *)
+}
+
+val map_cells :
+  ?domains:int -> ?label:(int -> 'a -> string) -> ('a -> 'b) -> 'a list ->
+  'b list
+(** [map_cells ?domains ?label f cells] is [List.map f cells], computed
+    on [domains] worker domains (default {!default_domains}[ ()]).
+    Results are returned in input order.  [label] describes a cell for
+    {!Cell_error} and the profile (default ["cell <index>"]).
+    @raise Cell_error when at least one cell raises. *)
+
+val map_cells_profiled :
+  ?domains:int -> ?label:(int -> 'a -> string) -> ('a -> 'b) -> 'a list ->
+  'b list * profile
+(** Like {!map_cells}, also returning per-cell timing. *)
+
+val profile_summary : profile -> Pstats.Summary.t
+(** Per-cell wall-clock summary statistics. *)
+
+val render_profile : profile -> string
+(** The sweep-profile footer: cell count, domains, wall clock, the sum
+    of per-cell times (sequential-equivalent), speedup, per-cell
+    mean/min/max and the slowest cell. *)

@@ -278,7 +278,8 @@ let test_cache_impl () =
     (String.length (Experiments.Cache_impl.render rows) > 0)
 
 let test_wear_exp () =
-  let rows = Experiments.Wear_exp.run ~total_inserts:800 () in
+  let t = Experiments.Wear_exp.run ~total_inserts:800 () in
+  let rows = t.Experiments.Wear_exp.rows in
   checki "four models" 4 (List.length rows);
   let strand =
     List.find (fun (r : Experiments.Wear_exp.row) -> r.label = "strand") rows
@@ -293,7 +294,7 @@ let test_wear_exp () =
   checkb "strict writes everything" true
     (strict.coalescing.Nvram.Wear.total_writes
     = strict.no_coalescing.Nvram.Wear.total_writes);
-  checkb "renders" true (String.length (Experiments.Wear_exp.render rows) > 0)
+  checkb "renders" true (String.length (Experiments.Wear_exp.render t) > 0)
 
 let test_queue_params_validation () =
   Alcotest.match_raises "indivisible inserts"

@@ -82,14 +82,24 @@ let test_scripted_out_of_range () =
       two_threads_n_ops 1 (M.Scripted s))
 
 (* The headline: exhaustive verification of a tiny queue.  Every
-   interleaving of 2 threads x 1 insert of a 16-byte entry; for each
-   trace, every legal crash state of the persist dependence graph.
-   CWL's single lock keeps the interleaving space exhaustively small;
-   2LC's concurrent copies blow it past 2M, so for 2LC we bound the
-   depth-first search and sample crash states instead
-   ([require_complete = false]). *)
+   interleaving of 2 threads x [inserts_per_thread] inserts of a
+   16-byte entry; for each trace, every legal crash state of the
+   persist dependence graph — or, when the graph outgrows
+   [Dag.all_down_closed] (more than 24 persist nodes, as with 3
+   inserts per thread), [sample_cuts] seeded random down-closed cuts
+   per trace.  CWL's single lock keeps the interleaving space
+   exhaustively small; 2LC's concurrent copies blow it past 2M, so for
+   2LC we bound the depth-first search too
+   ([require_complete = false]).
+
+   When a violation is expected ([expect_safe = false]) the first one
+   found aborts the exploration: the claim is existential, and e.g. the
+   3-insert space has 400k+ interleavings. *)
+exception Bug_found
+
 let exhaustive_queue ?(design = Q.Cwl) ?(limit = 20_000)
-    ?(require_complete = true) annotation mode ~expect_safe () =
+    ?(require_complete = true) ?(inserts_per_thread = 1)
+    ?(capacity_entries = 2) ?sample_cuts annotation mode ~expect_safe () =
   let failures = ref 0 in
   let rng = Random.State.make [| 17 |] in
   let run policy =
@@ -97,9 +107,9 @@ let exhaustive_queue ?(design = Q.Cwl) ?(limit = 20_000)
       { Q.design = design;
         annotation;
         threads = 2;
-        inserts_per_thread = 1;
+        inserts_per_thread;
         entry_size = 16;
-        capacity_entries = 2;
+        capacity_entries;
         seed = 1;
         policy }
     in
@@ -110,26 +120,35 @@ let exhaustive_queue ?(design = Q.Cwl) ?(limit = 20_000)
     let graph = Option.get (P.Engine.graph engine) in
     let capacity = layout.Q.data_addr + layout.Q.data_bytes in
     let cuts =
-      if require_complete then P.Observer.all_cuts graph
-      else List.init 25 (fun _ -> P.Observer.random_cut graph rng)
+      match sample_cuts with
+      | Some n -> List.init n (fun _ -> P.Observer.random_cut graph rng)
+      | None ->
+        if require_complete then P.Observer.all_cuts graph
+        else List.init 25 (fun _ -> P.Observer.random_cut graph rng)
     in
     List.iter
       (fun cut ->
         let image = P.Observer.image_of_cut graph cut ~capacity in
         match Workloads.Queue_recovery.check ~params ~layout image with
         | Ok () -> ()
-        | Error _ -> incr failures)
+        | Error _ ->
+          incr failures;
+          if not expect_safe then raise Bug_found)
       cuts
   in
-  let o = Memsim.Explore.run_all ~limit run in
-  if require_complete then
-    checkb "explored all interleavings" true o.Memsim.Explore.complete;
-  checkb "several interleavings" true (o.Memsim.Explore.traces > 10);
-  if expect_safe then
-    checki
-      (Printf.sprintf "no violation in %d interleavings" o.Memsim.Explore.traces)
-      0 !failures
-  else checkb "bug found by exploration" true (!failures > 0)
+  match Memsim.Explore.run_all ~limit run with
+  | o ->
+    if require_complete then
+      checkb "explored all interleavings" true o.Memsim.Explore.complete;
+    checkb "several interleavings" true (o.Memsim.Explore.traces > 10);
+    if expect_safe then
+      checki
+        (Printf.sprintf "no violation in %d interleavings"
+           o.Memsim.Explore.traces)
+        0 !failures
+    else checkb "bug found by exploration" true (!failures > 0)
+  | exception Bug_found ->
+    checkb "bug found by exploration" true (!failures > 0)
 
 let test_exhaustive_epoch () =
   exhaustive_queue Q.Epoch P.Config.Epoch ~expect_safe:true ()
@@ -152,6 +171,20 @@ let test_exhaustive_tlc_buggy () =
   exhaustive_queue ~design:Q.Tlc ~limit:800 ~require_complete:false
     Q.Buggy_epoch P.Config.Epoch ~expect_safe:false ()
 
+(* Deeper CWL runs: 2 threads x 3 inserts each — 423,556 interleavings,
+   all explored.  The interleaving space stays exhaustively enumerable
+   (the lock serializes inserts, branching only at acquisition), but
+   each trace's persist graph reaches the 24-node [Dag.all_down_closed]
+   ceiling, so crash states are sampled per trace instead; the buggy
+   variant aborts at the first violation. *)
+let test_exhaustive_three_inserts_epoch () =
+  exhaustive_queue ~inserts_per_thread:3 ~capacity_entries:6 ~limit:500_000
+    ~sample_cuts:4 Q.Epoch P.Config.Epoch ~expect_safe:true ()
+
+let test_exhaustive_three_inserts_buggy () =
+  exhaustive_queue ~inserts_per_thread:3 ~capacity_entries:6 ~limit:500_000
+    ~sample_cuts:40 Q.Buggy_epoch P.Config.Epoch ~expect_safe:false ()
+
 let () =
   Alcotest.run "explore"
     [ ( "explorer",
@@ -167,5 +200,9 @@ let () =
           Alcotest.test_case "strict safe" `Slow test_exhaustive_strict;
           Alcotest.test_case "buggy caught" `Slow test_exhaustive_buggy;
           Alcotest.test_case "2LC racing safe" `Slow test_exhaustive_tlc;
-          Alcotest.test_case "2LC buggy caught" `Slow test_exhaustive_tlc_buggy
+          Alcotest.test_case "2LC buggy caught" `Slow test_exhaustive_tlc_buggy;
+          Alcotest.test_case "3-insert epoch safe" `Slow
+            test_exhaustive_three_inserts_epoch;
+          Alcotest.test_case "3-insert buggy caught" `Slow
+            test_exhaustive_three_inserts_buggy
         ] ) ]

@@ -1,0 +1,180 @@
+(* Differential fuzzing of the persist-timing engine against the
+   reference oracle.
+
+   A seeded generator produces random SC traces — loads, stores, RMWs,
+   persist barriers and strand boundaries over a small address set in
+   both address spaces, 2-4 threads — and for every trace and every
+   persistency model checks:
+
+   - critical path, differentially: [Engine.critical_path] with
+     coalescing disabled must equal [Oracle.critical_path], the
+     longest required-ordered persist chain computed independently by
+     longest-path dynamic programming over the closed persistent
+     memory order (an engine that over- or under-approximates ordering
+     fails this even when its levels are internally consistent);
+   - coalescing on: [Oracle.verify_engine] validates node assignment,
+     graph acyclicity, level monotonicity and every coalescing
+     decision, plus the engine's coalesced critical path never exceeds
+     the uncoalesced one;
+
+   and on failure prints the offending trace as a replayable event
+   list ([Event.to_string] per line, parseable by [Event.of_string] /
+   [Trace.of_channel]).
+
+   FUZZ_TRACES scales the run (default 200 traces per model; the
+   Makefile `fuzz` target uses 2000).  The per-model suites run on the
+   domain pool — the fuzzer dogfoods lib/parallel. *)
+
+module E = Memsim.Event
+module P = Persistency
+
+let traces_per_model =
+  match Sys.getenv_opt "FUZZ_TRACES" with
+  | Some v -> (try max 1 (int_of_string v) with Failure _ -> 200)
+  | None -> 200
+
+let vb = Memsim.Addr.volatile_base
+
+(* Small address set: five persistent words (two sharing a 16-byte
+   block, exercising coarse granularities) and two volatile words. *)
+let addresses = [| 8; 16; 24; 32; 64; vb + 8; vb + 16 |]
+
+let gen_trace rng =
+  let threads = 2 + Random.State.int rng 3 in
+  let len = 20 + Random.State.int rng 60 in
+  List.init len (fun _ ->
+      let tid = Random.State.int rng threads in
+      match Random.State.int rng 10 with
+      | 0 | 1 | 2 ->
+        let addr = addresses.(Random.State.int rng (Array.length addresses)) in
+        E.Access
+          ( E.Load,
+            { tid; addr; size = 8; value = 0L;
+              space = Memsim.Addr.space_of addr } )
+      | 3 | 4 | 5 | 6 ->
+        let addr = addresses.(Random.State.int rng (Array.length addresses)) in
+        E.Access
+          ( E.Store,
+            { tid; addr; size = 8;
+              value = Int64.of_int (Random.State.int rng 1000);
+              space = Memsim.Addr.space_of addr } )
+      | 7 ->
+        let addr = addresses.(Random.State.int rng (Array.length addresses)) in
+        E.Access
+          ( E.Rmw,
+            { tid; addr; size = 8;
+              value = Int64.of_int (Random.State.int rng 1000);
+              space = Memsim.Addr.space_of addr } )
+      | 8 -> E.Persist_barrier tid
+      | _ -> E.New_strand tid)
+
+let replayable events =
+  String.concat "\n" (List.map E.to_string events)
+
+let fail_with_trace ~name ~seed events fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Alcotest.failf
+        "%s (seed %d): %s\nreplayable trace (Event.of_string per line):\n%s"
+        name seed msg (replayable events))
+    fmt
+
+(* One fuzz campaign: [count] seeded traces against one configuration. *)
+let fuzz_config ~name ~count mk_cfg =
+  for seed = 1 to count do
+    let rng = Random.State.make [| 0x9e3779b9; seed |] in
+    let events = gen_trace rng in
+    let trace = Memsim.Trace.of_list events in
+    let cfg : P.Config.t = mk_cfg () in
+    (* Differential critical path, coalescing off: engine vs the
+       oracle's longest required-ordered persist chain. *)
+    let cfg_nc = { cfg with P.Config.coalescing = false } in
+    let engine = P.Engine.create cfg_nc in
+    P.Engine.observe_trace engine trace;
+    let ecp = P.Engine.critical_path engine in
+    let ocp = P.Oracle.critical_path (P.Oracle.build cfg_nc trace) in
+    if ecp <> ocp then
+      fail_with_trace ~name ~seed events
+        "critical path mismatch (no coalescing): engine %d, oracle %d" ecp ocp;
+    (* Coalescing on: the full oracle verification, plus the coalesced
+       critical path can only shrink. *)
+    let engine_c = P.Engine.create cfg in
+    P.Engine.observe_trace engine_c trace;
+    let ccp = P.Engine.critical_path engine_c in
+    if ccp > ecp then
+      fail_with_trace ~name ~seed events
+        "coalescing increased the critical path: %d > %d" ccp ecp;
+    (match P.Oracle.verify_engine cfg trace with
+    | Ok () -> ()
+    | Error msg -> fail_with_trace ~name ~seed events "oracle: %s" msg)
+  done
+
+type campaign = {
+  c_name : string;
+  count : int;
+  mk_cfg : unit -> P.Config.t;
+}
+
+let campaigns =
+  (* The three models at full scale, then the ablation/consistency
+     variants at reduced scale. *)
+  List.map
+    (fun mode ->
+      { c_name = P.Config.mode_name mode;
+        count = traces_per_model;
+        mk_cfg = (fun () -> P.Config.make mode) })
+    P.Config.all_modes
+  @ [ { c_name = "strict/tso";
+        count = (traces_per_model + 1) / 2;
+        mk_cfg =
+          (fun () -> P.Config.make ~consistency:P.Config.Tso P.Config.Strict) };
+      { c_name = "strict/rmo";
+        count = (traces_per_model + 1) / 2;
+        mk_cfg =
+          (fun () -> P.Config.make ~consistency:P.Config.Rmo P.Config.Strict) };
+      { c_name = "epoch/tso-conflicts";
+        count = (traces_per_model + 1) / 2;
+        mk_cfg = (fun () -> P.Config.make ~tso_conflicts:true P.Config.Epoch) };
+      { c_name = "epoch/persistent-only";
+        count = (traces_per_model + 1) / 2;
+        mk_cfg =
+          (fun () ->
+            P.Config.make ~persistent_only_conflicts:true P.Config.Epoch) };
+      { c_name = "epoch/coarse";
+        count = (traces_per_model + 1) / 2;
+        mk_cfg =
+          (fun () -> P.Config.make ~track_gran:16 ~persist_gran:32 P.Config.Epoch)
+      };
+      { c_name = "strand/coarse";
+        count = (traces_per_model + 1) / 2;
+        mk_cfg =
+          (fun () ->
+            P.Config.make ~track_gran:16 ~persist_gran:32 P.Config.Strand) } ]
+
+(* The campaigns are independent; run them as cells on the domain
+   pool.  Alcotest reports per-campaign, the pool re-raises the first
+   failing campaign's exception with its label attached. *)
+let test_all_campaigns () =
+  ignore
+    (Parallel.Pool.map_cells
+       ~label:(fun _ c -> c.c_name)
+       (fun c -> fuzz_config ~name:c.c_name ~count:c.count c.mk_cfg)
+       campaigns)
+
+(* Single-campaign cases so `dune runtest` shows per-model results;
+   these are cheap enough sequentially at the default scale. *)
+let test_one c () = fuzz_config ~name:c.c_name ~count:c.count c.mk_cfg
+
+let () =
+  Alcotest.run "fuzz"
+    [ ( "differential",
+        Alcotest.test_case
+          (Printf.sprintf "all campaigns, %d traces/model (pooled)"
+             traces_per_model)
+          `Slow test_all_campaigns
+        :: List.map
+             (fun c ->
+               Alcotest.test_case
+                 (Printf.sprintf "%s (%d traces)" c.c_name c.count)
+                 `Quick (test_one c))
+             campaigns ) ]

@@ -1,0 +1,126 @@
+(* The domain pool under lib/parallel: order preservation, parallel ==
+   sequential on a real experiment sweep, deterministic exception
+   propagation, and the edge cases the experiment drivers rely on. *)
+
+module Pool = Parallel.Pool
+
+let test_order_preserved () =
+  let cells = List.init 57 Fun.id in
+  let expected = List.map (fun i -> (i * i) + 1) cells in
+  let seq = Pool.map_cells ~domains:1 (fun i -> (i * i) + 1) cells in
+  let par = Pool.map_cells ~domains:4 (fun i -> (i * i) + 1) cells in
+  Alcotest.(check (list int)) "sequential order" expected seq;
+  Alcotest.(check (list int)) "parallel order" expected par
+
+(* Uneven per-cell cost provokes stealing; order must still hold. *)
+let test_order_uneven_cost () =
+  let cells = List.init 24 Fun.id in
+  let work i =
+    let n = if i mod 7 = 0 then 200_000 else 50 in
+    let acc = ref i in
+    for k = 1 to n do
+      acc := (!acc * 31) + k
+    done;
+    (i, !acc)
+  in
+  let seq = Pool.map_cells ~domains:1 work cells in
+  let par = Pool.map_cells ~domains:4 work cells in
+  Alcotest.(check (list (pair int int))) "stolen cells keep order" seq par
+
+(* The acceptance check of the tentpole, as a test: a real Fig3 sweep
+   renders byte-identically no matter the domain count. *)
+let test_fig3_jobs_identical () =
+  let run jobs = Experiments.Fig3.run ~jobs ~total_inserts:300 () in
+  let t1 = run 1 and t4 = run 4 in
+  Alcotest.(check string)
+    "render identical" (Experiments.Fig3.render t1) (Experiments.Fig3.render t4);
+  Alcotest.(check string)
+    "csv identical" (Experiments.Fig3.to_csv t1) (Experiments.Fig3.to_csv t4);
+  Alcotest.(check int)
+    "one cell per model"
+    (List.length t1.Experiments.Fig3.series)
+    (List.length t4.Experiments.Fig3.profile.Pool.cells)
+
+let test_exception_propagates () =
+  let cells = [ "ok-a"; "boom"; "ok-b" ] in
+  let f s = if s = "boom" then failwith ("exploded: " ^ s) else s in
+  match
+    Pool.map_cells ~domains:4 ~label:(fun i s -> Printf.sprintf "%d:%s" i s)
+      f cells
+  with
+  | _ -> Alcotest.fail "expected Cell_error"
+  | exception Pool.Cell_error { index; label; message; _ } ->
+    Alcotest.(check int) "failing index" 1 index;
+    Alcotest.(check string) "failing label" "1:boom" label;
+    Alcotest.(check bool) "message carries payload" true
+      (let is_sub s sub =
+         let n = String.length s and m = String.length sub in
+         let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+         go 0
+       in
+       is_sub message "exploded: boom")
+
+(* Two failing cells: the lowest index wins regardless of which domain
+   finished first, and the surviving cells still executed. *)
+let test_lowest_failure_wins () =
+  let executed = Array.make 6 false in
+  let f i =
+    executed.(i) <- true;
+    if i = 4 || i = 2 then failwith (Printf.sprintf "cell %d" i) else i
+  in
+  (match Pool.map_cells ~domains:3 f (List.init 6 Fun.id) with
+  | _ -> Alcotest.fail "expected Cell_error"
+  | exception Pool.Cell_error { index; _ } ->
+    Alcotest.(check int) "lowest failing index" 2 index);
+  Alcotest.(check bool) "non-failing cells still ran" true
+    (executed.(0) && executed.(1) && executed.(3) && executed.(5))
+
+let test_empty_and_single () =
+  Alcotest.(check (list int)) "empty list" []
+    (Pool.map_cells ~domains:4 (fun i -> i) []);
+  Alcotest.(check (list string)) "single cell" [ "only" ]
+    (Pool.map_cells ~domains:4 String.lowercase_ascii [ "ONLY" ]);
+  Alcotest.(check (list int)) "domains:0 degrades to sequential" [ 2; 4 ]
+    (Pool.map_cells ~domains:0 (fun i -> 2 * i) [ 1; 2 ])
+
+let test_profile () =
+  let cells = [ "a"; "b"; "c" ] in
+  let results, profile =
+    Pool.map_cells_profiled ~domains:2 ~label:(fun _ s -> s)
+      String.uppercase_ascii cells
+  in
+  Alcotest.(check (list string)) "results" [ "A"; "B"; "C" ] results;
+  Alcotest.(check (list string)) "profile cells in input order" cells
+    (List.map fst profile.Pool.cells);
+  Alcotest.(check bool) "wall clock non-negative" true
+    (profile.Pool.wall_seconds >= 0.);
+  Alcotest.(check bool) "cell times non-negative" true
+    (List.for_all (fun (_, s) -> s >= 0.) profile.Pool.cells);
+  Alcotest.(check bool) "at most requested domains" true
+    (profile.Pool.domains >= 1 && profile.Pool.domains <= 2);
+  let footer = Pool.render_profile profile in
+  Alcotest.(check bool) "footer mentions sweep profile" true
+    (String.length footer > 0
+    && String.sub footer 0 (String.length "sweep profile")
+       = "sweep profile")
+
+let test_default_domains () =
+  Alcotest.(check bool) "default_domains >= 1" true (Pool.default_domains () >= 1)
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "pool",
+        [ Alcotest.test_case "order preserved" `Quick test_order_preserved;
+          Alcotest.test_case "order under stealing" `Quick
+            test_order_uneven_cost;
+          Alcotest.test_case "fig3 --jobs 1 == --jobs 4" `Quick
+            test_fig3_jobs_identical;
+          Alcotest.test_case "exception propagates with label" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "lowest-indexed failure wins" `Quick
+            test_lowest_failure_wins;
+          Alcotest.test_case "empty and single cell" `Quick
+            test_empty_and_single;
+          Alcotest.test_case "profile accounting" `Quick test_profile;
+          Alcotest.test_case "default domain count" `Quick test_default_domains
+        ] ) ]
