@@ -2,7 +2,7 @@
 # the parallel sweeps and the fuzzer; see README "Running the
 # evaluation in parallel".
 
-.PHONY: all build test bench bench-quick fuzz clean
+.PHONY: all build test bench bench-quick fuzz fmt-check smoke ci clean
 
 all: build
 
@@ -24,6 +24,23 @@ bench-quick: build
 # 2000 traces per model (the test suite's default is 200).
 fuzz: build
 	FUZZ_TRACES=2000 dune exec test/test_fuzz.exe
+
+# Formatting gate (dune files; ocamlformat is not a dependency).
+fmt-check:
+	dune build @fmt
+
+# Quick end-to-end check of the observability outputs: metrics and
+# trace dumps must be valid JSON, the graph export well-formed DOT.
+smoke: build
+	dune exec bin/persistsim.exe -- table1 --inserts 200 --metrics-out /tmp/persistsim-metrics.json > /dev/null
+	python3 -m json.tool /tmp/persistsim-metrics.json > /dev/null
+	dune exec bin/persistsim.exe -- fig3 --inserts 200 --trace-out /tmp/persistsim-trace.json > /dev/null
+	python3 -m json.tool /tmp/persistsim-trace.json > /dev/null
+	dune exec bin/persistsim.exe -- graph --design cwl --model epoch --out /tmp/persistsim-graph.dot
+	grep -q "digraph persist_graph" /tmp/persistsim-graph.dot
+
+# What .github/workflows/ci.yml runs.
+ci: fmt-check build test smoke
 
 clean:
 	dune clean

@@ -272,6 +272,9 @@ let run_benchmarks () =
   Report.Table.print table
 
 let () =
+  (* METRICS_OUT / TRACE_OUT dump the instrumentation registry and the
+     span timeline at exit, as in persistsim. *)
+  Obs.Setup.from_env ();
   reproduce ();
   run_benchmarks ();
   print_endline "\nbench: done"

@@ -5,6 +5,44 @@ open Cmdliner
 
 (* Shared options *)
 
+(* Observability: every subcommand accepts --metrics-out/--trace-out
+   (or METRICS_OUT/TRACE_OUT in the environment).  The files are
+   written at exit so a crashing run still dumps what it gathered.
+   Evaluating the term activates the registry/tracer as a side effect
+   before the subcommand body runs; the extra [()] argument threads
+   that ordering through cmdliner. *)
+let obs_t =
+  let metrics_t =
+    let doc =
+      "Write the metrics registry (counters, gauges, histograms from the \
+       engine, pool, drain, cachesim and workloads) as JSON to $(docv) at \
+       exit."
+    in
+    let env = Cmd.Env.info "METRICS_OUT" in
+    Arg.(value
+         & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE" ~env ~doc)
+  in
+  let trace_t =
+    let doc =
+      "Write a Chrome trace-event JSON timeline (sweep cells, experiment \
+       phases) to $(docv) at exit; load it in Perfetto or \
+       chrome://tracing."
+    in
+    let env = Cmd.Env.info "TRACE_OUT" in
+    Arg.(value
+         & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE" ~env ~doc)
+  in
+  let setup metrics_out trace_out =
+    Obs.Setup.activate ?metrics_out ?trace_out ()
+  in
+  Term.(const setup $ metrics_t $ trace_t)
+
+(* Table/chart rendering as its own trace phase (a no-op when tracing
+   is off). *)
+let rendering f = Obs.Tracer.with_span ~cat:"phase" "rendering" f
+
 let inserts_t =
   let doc = "Total inserts per configuration." in
   Arg.(value & opt int Experiments.Run.default_total_inserts
@@ -60,7 +98,7 @@ let model_t =
 (* table1 *)
 
 let table1_cmd =
-  let run inserts capacity latency csv calibrate jobs =
+  let run () inserts capacity latency csv calibrate jobs =
     let insn_ns =
       if calibrate then (fun design threads ->
         Calibrate.measure_native_ns ~design ~threads ())
@@ -70,8 +108,10 @@ let table1_cmd =
       Experiments.Table1.run ~jobs ~total_inserts:inserts
         ~capacity_entries:capacity ~latency_ns:latency ~insn_ns ()
     in
-    print_string
-      (if csv then Experiments.Table1.to_csv t else Experiments.Table1.render t);
+    rendering (fun () ->
+        print_string
+          (if csv then Experiments.Table1.to_csv t
+           else Experiments.Table1.render t));
     print_profile t.Experiments.Table1.profile
   in
   let latency_t =
@@ -85,33 +125,38 @@ let table1_cmd =
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce Table 1 (normalized insert rates).")
-    Term.(const run $ inserts_t $ capacity_t $ latency_t $ csv_t $ calibrate_t
-          $ jobs_t)
+    Term.(const run $ obs_t $ inserts_t $ capacity_t $ latency_t $ csv_t
+          $ calibrate_t $ jobs_t)
 
 (* fig3 *)
 
 let fig3_chart (t : Experiments.Fig3.t) =
-  let glyphs = [ 's'; 'e'; '*' ] in
+  (* Glyphs cycle, so any number of series renders; the old List.map2
+     raised Invalid_argument as soon as there were more than three. *)
+  let glyphs = [| 's'; 'e'; '*'; '+'; 'o'; 'x' |] in
   let series =
-    List.map2
-      (fun (s : Experiments.Fig3.series) glyph ->
-        { Report.Chart.label = s.model; glyph; points = s.rates })
+    List.mapi
+      (fun i (s : Experiments.Fig3.series) ->
+        { Report.Chart.label = s.model;
+          glyph = glyphs.(i mod Array.length glyphs);
+          points = s.rates })
       t.series
-      (List.filteri (fun i _ -> i < List.length t.series) glyphs)
   in
   Report.Chart.render
     ~axes:{ Report.Chart.log_x = true; log_y = true; width = 64; height = 16 }
     ~title:"Figure 3: inserts/s vs persist latency (ns), log-log" series
 
 let fig3_cmd =
-  let run inserts capacity csv chart jobs =
+  let run () inserts capacity csv chart jobs =
     let t =
       Experiments.Fig3.run ~jobs ~total_inserts:inserts
         ~capacity_entries:capacity ()
     in
-    print_string
-      (if csv then Experiments.Fig3.to_csv t else Experiments.Fig3.render t);
-    if chart then print_string (fig3_chart t);
+    rendering (fun () ->
+        print_string
+          (if csv then Experiments.Fig3.to_csv t
+           else Experiments.Fig3.render t);
+        if chart then print_string (fig3_chart t));
     print_profile t.Experiments.Fig3.profile
   in
   let chart_t =
@@ -120,12 +165,13 @@ let fig3_cmd =
   in
   Cmd.v
     (Cmd.info "fig3" ~doc:"Reproduce Figure 3 (throughput vs persist latency).")
-    Term.(const run $ inserts_t $ capacity_t $ csv_t $ chart_t $ jobs_t)
+    Term.(const run $ obs_t $ inserts_t $ capacity_t $ csv_t $ chart_t
+          $ jobs_t)
 
 (* cache: model vs BPFS-style implementation *)
 
 let cache_cmd =
-  let run inserts threads =
+  let run () inserts threads =
     print_string
       (Experiments.Cache_impl.render
          (Experiments.Cache_impl.run ~total_inserts:inserts ~threads ()))
@@ -134,12 +180,12 @@ let cache_cmd =
     (Cmd.info "cache"
        ~doc:"Compare the persistency model against the BPFS-style epoch \
              cache hardware (writebacks, flushes, wear).")
-    Term.(const run $ inserts_t $ threads_t 4)
+    Term.(const run $ obs_t $ inserts_t $ threads_t 4)
 
 (* consistency *)
 
 let consistency_cmd =
-  let run inserts capacity jobs =
+  let run () inserts capacity jobs =
     let t =
       Experiments.Consistency_exp.run ~jobs ~total_inserts:inserts
         ~capacity_entries:capacity ()
@@ -151,12 +197,12 @@ let consistency_cmd =
     (Cmd.info "consistency"
        ~doc:"Strict persistency under SC / TSO / RMO vs relaxed persistency \
              under SC (paper Section 5.1).")
-    Term.(const run $ inserts_t $ capacity_t $ jobs_t)
+    Term.(const run $ obs_t $ inserts_t $ capacity_t $ jobs_t)
 
 (* wear *)
 
 let wear_cmd =
-  let run inserts jobs =
+  let run () inserts jobs =
     let t = Experiments.Wear_exp.run ~jobs ~total_inserts:inserts () in
     print_string (Experiments.Wear_exp.render t);
     print_profile t.Experiments.Wear_exp.profile
@@ -168,23 +214,24 @@ let wear_cmd =
   Cmd.v
     (Cmd.info "wear"
        ~doc:"NVRAM write counts per model, with and without coalescing.")
-    Term.(const run $ inserts_small_t $ jobs_t)
+    Term.(const run $ obs_t $ inserts_small_t $ jobs_t)
 
 (* fig4 / fig5 *)
 
 let gran_cmd which name doc =
-  let run inserts capacity csv jobs =
+  let run () inserts capacity csv jobs =
     let t =
       Experiments.Granularity.run ~jobs ~total_inserts:inserts
         ~capacity_entries:capacity which
     in
-    print_string
-      (if csv then Experiments.Granularity.to_csv t
-       else Experiments.Granularity.render t);
+    rendering (fun () ->
+        print_string
+          (if csv then Experiments.Granularity.to_csv t
+           else Experiments.Granularity.render t));
     print_profile t.Experiments.Granularity.profile
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ inserts_t $ capacity_t $ csv_t $ jobs_t)
+    Term.(const run $ obs_t $ inserts_t $ capacity_t $ csv_t $ jobs_t)
 
 let fig4_cmd =
   gran_cmd Experiments.Granularity.Atomic_persist "fig4"
@@ -197,7 +244,7 @@ let fig5_cmd =
 (* validate *)
 
 let validate_cmd =
-  let run inserts threads jobs =
+  let run () inserts threads jobs =
     let t =
       Experiments.Validation.run ~jobs ~threads ~total_inserts:inserts ()
     in
@@ -208,12 +255,12 @@ let validate_cmd =
     (Cmd.info "validate"
        ~doc:"Insert-distance distribution stability across schedules \
              (Section 7 validation).")
-    Term.(const run $ inserts_t $ threads_t 4 $ jobs_t)
+    Term.(const run $ obs_t $ inserts_t $ threads_t 4 $ jobs_t)
 
 (* recovery *)
 
 let recovery_cmd =
-  let run design model threads inserts samples buggy =
+  let run () design model threads inserts samples buggy =
     let annotation =
       if buggy then Workloads.Queue.Buggy_epoch else model.Experiments.Run.annotation
     in
@@ -262,13 +309,13 @@ let recovery_cmd =
     (Cmd.info "recovery"
        ~doc:"Failure injection: sample legal crash states via the recovery \
              observer and check queue recovery.")
-    Term.(const run $ design_t $ model_t $ threads_t 2 $ inserts_small_t
-          $ samples_t $ buggy_t)
+    Term.(const run $ obs_t $ design_t $ model_t $ threads_t 2
+          $ inserts_small_t $ samples_t $ buggy_t)
 
 (* trace *)
 
 let trace_cmd =
-  let run design model threads inserts =
+  let run () design model threads inserts =
     let params =
       Experiments.Run.queue_params ~design ~threads
         ~total_inserts:(threads * inserts) model
@@ -283,12 +330,14 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Dump the SC memory event trace of a queue run.")
-    Term.(const run $ design_t $ model_t $ threads_t 1 $ inserts_small_t)
+    Term.(const run $ obs_t $ design_t $ model_t $ threads_t 1
+          $ inserts_small_t)
 
 (* analyze *)
 
 let analyze_cmd =
-  let run design model threads inserts capacity track persist latency =
+  let run () design model threads inserts capacity track persist latency
+      explain =
     let params =
       Experiments.Run.queue_params ~design ~threads ~total_inserts:inserts
         ~capacity_entries:capacity model
@@ -297,7 +346,12 @@ let analyze_cmd =
       Persistency.Config.make ~track_gran:track ~persist_gran:persist
         model.Experiments.Run.mode
     in
-    let m = Experiments.Run.analyze params cfg in
+    let m, graph =
+      if explain then
+        let m, g, _ = Experiments.Run.analyze_with_graph params cfg in
+        (m, Some g)
+      else (Experiments.Run.analyze params cfg, None)
+    in
     let timing =
       { Nvram.Timing.ops = m.Experiments.Run.inserts;
         critical_path = m.Experiments.Run.critical_path;
@@ -318,7 +372,20 @@ let analyze_cmd =
       (Report.Table.fmt_rate (Nvram.Timing.instruction_rate timing));
     Printf.printf "achievable:      %s (normalized %.3f)\n"
       (Report.Table.fmt_rate (Nvram.Timing.achievable_rate timing))
-      (Nvram.Timing.normalized timing)
+      (Nvram.Timing.normalized timing);
+    match graph with
+    | None -> ()
+    | Some g ->
+      print_newline ();
+      Persistency.Graph_export.explain Format.std_formatter g;
+      Format.pp_print_flush Format.std_formatter ()
+  in
+  let explain_t =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Record the persist dependence graph and print the \
+                   longest dependence chain as a persist-by-persist walk \
+                   (its length is the reported critical path).")
   in
   let track_t =
     Arg.(value & opt int 8 & info [ "track-gran" ] ~docv:"BYTES"
@@ -334,13 +401,66 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyze one configuration in detail.")
-    Term.(const run $ design_t $ model_t $ threads_t 1 $ inserts_t
-          $ capacity_t $ track_t $ persist_t $ latency_t)
+    Term.(const run $ obs_t $ design_t $ model_t $ threads_t 1 $ inserts_t
+          $ capacity_t $ track_t $ persist_t $ latency_t $ explain_t)
+
+(* graph *)
+
+let graph_cmd =
+  let run () design model threads inserts format out =
+    let params =
+      Experiments.Run.queue_params ~design ~threads
+        ~total_inserts:(threads * inserts)
+        ~capacity_entries:(threads * inserts)
+        model
+    in
+    let cfg = Persistency.Config.make model.Experiments.Run.mode in
+    let _, graph, _ = Experiments.Run.analyze_with_graph params cfg in
+    let emit ppf =
+      (match format with
+      | `Dot -> Persistency.Graph_export.to_dot ppf graph
+      | `Jsonl -> Persistency.Graph_export.to_jsonl ppf graph);
+      Format.pp_print_flush ppf ()
+    in
+    match out with
+    | None -> emit Format.std_formatter
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          emit (Format.formatter_of_out_channel oc))
+  in
+  let format_t =
+    let doc =
+      "Output format: $(b,dot) (Graphviz, critical path highlighted) or \
+       $(b,jsonl) (one node per line)."
+    in
+    Arg.(value
+         & opt (Arg.enum [ ("dot", `Dot); ("jsonl", `Jsonl) ]) `Dot
+         & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let out_t =
+    Arg.(value
+         & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write to $(docv) instead of standard output.")
+  in
+  let inserts_small_t =
+    Arg.(value & opt int 4
+         & info [ "inserts" ] ~docv:"N"
+             ~doc:"Inserts per thread (kept small so the graph stays \
+                   viewable).")
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Export the persist dependence graph of a queue run, with the \
+             critical-path nodes marked and per-level/per-thread \
+             annotations.")
+    Term.(const run $ obs_t $ design_t $ model_t $ threads_t 1
+          $ inserts_small_t $ format_t $ out_t)
 
 (* ablation *)
 
 let ablation_cmd =
-  let run which inserts jobs =
+  let run () which inserts jobs =
     let all = which = "all" in
     let on_profile = print_profile in
     if all || which = "tso" then
@@ -387,12 +507,12 @@ let ablation_cmd =
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"Run the DESIGN.md ablations (A1-A5).")
-    Term.(const run $ which_t $ inserts_t $ jobs_t)
+    Term.(const run $ obs_t $ which_t $ inserts_t $ jobs_t)
 
 (* calibrate *)
 
 let calibrate_cmd =
-  let run () =
+  let run () () =
     List.iter
       (fun design ->
         List.iter
@@ -411,7 +531,7 @@ let calibrate_cmd =
   Cmd.v
     (Cmd.info "calibrate"
        ~doc:"Measure this machine's native volatile-queue insert rate.")
-    Term.(const run $ const ())
+    Term.(const run $ obs_t $ const ())
 
 let main =
   let doc =
@@ -421,7 +541,7 @@ let main =
   Cmd.group
     (Cmd.info "persistsim" ~version:"1.0.0" ~doc)
     [ table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; validate_cmd; recovery_cmd;
-      trace_cmd; analyze_cmd; ablation_cmd; calibrate_cmd; cache_cmd;
-      wear_cmd; consistency_cmd ]
+      trace_cmd; analyze_cmd; graph_cmd; ablation_cmd; calibrate_cmd;
+      cache_cmd; wear_cmd; consistency_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,4 +1,16 @@
 module Event = Memsim.Event
+module M = Obs.Metrics
+
+(* The simulator is already a metrics machine; rather than pay a
+   per-access branch, the whole tally is published into the registry in
+   one shot at [finish]. *)
+let m_runs = M.counter M.default "cachesim.runs"
+let m_persists = M.counter M.default "cachesim.persists"
+let m_coalesced = M.counter M.default "cachesim.cache_coalesced"
+let m_writebacks = M.counter M.default "cachesim.writebacks"
+let m_conflict = M.counter M.default "cachesim.conflict_flushes"
+let m_eviction = M.counter M.default "cachesim.eviction_flushes"
+let m_max_wear = M.gauge_max M.default "cachesim.max_line_wear"
 
 type metrics = {
   persists : int;
@@ -181,6 +193,13 @@ let finish t =
     (fun tid ts -> flush_up_to t tid ts.cur_epoch ~why:`Final)
     t.threads;
   let max_wear = Hashtbl.fold (fun _ r acc -> max acc !r) t.wear 0 in
+  M.incr m_runs;
+  M.add m_persists t.persists;
+  M.add m_coalesced t.cache_coalesced;
+  M.add m_writebacks t.writebacks;
+  M.add m_conflict t.conflict_flushes;
+  M.add m_eviction t.eviction_flushes;
+  M.observe_max m_max_wear (float_of_int max_wear);
   { persists = t.persists;
     cache_coalesced = t.cache_coalesced;
     writebacks = t.writebacks;

@@ -1,6 +1,32 @@
 module Event = Memsim.Event
 module Vec = Memsim.Vec
 
+(* Observability instruments (lib/obs).  Registered once at module
+   initialization; every update is a no-op while the default registry
+   is disabled.  Counters aggregate across engine instances — a sweep's
+   worker domains all feed the same instruments. *)
+module M = Obs.Metrics
+
+let m_events = M.counter M.default "engine.events"
+let m_persist_events = M.counter M.default "engine.persist_events"
+let m_persist_ops = M.counter M.default "engine.persist_ops"
+let m_coalesced = M.counter M.default "engine.coalesced"
+let m_barriers = M.counter M.default "engine.persist_barriers"
+let m_strands = M.counter M.default "engine.new_strands"
+let m_labels = M.counter M.default "engine.labels"
+let m_cp = M.gauge_max M.default "engine.critical_path_max"
+let m_level = M.histogram M.default "engine.persist_level"
+let m_coalesce_run = M.histogram M.default "engine.coalesce_run_length"
+
+let frontier_buckets = M.pow2_buckets 9 (* 1 .. 256 *)
+
+let m_frontier_before =
+  M.histogram M.default ~buckets:frontier_buckets
+    "engine.frontier_before_reduce"
+
+let m_frontier_after =
+  M.histogram M.default ~buckets:frontier_buckets "engine.frontier_after_reduce"
+
 type tstate = {
   mutable barrier : Level.t;  (* everything before the last barrier *)
   mutable acc : Level.t;  (* accumulated in the current epoch *)
@@ -19,7 +45,11 @@ type bstate = {
   mutable load_f : Iset.t;
 }
 
-type open_persist = { node : int; level : int }
+type open_persist = {
+  node : int;
+  level : int;
+  mutable merged : int;  (* persist events absorbed, incl. the first *)
+}
 
 type t = {
   cfg : Config.t;
@@ -93,9 +123,9 @@ let tracked_block t (a : Event.access) =
   assert (b0 = b1);
   b0
 
-let fresh_node t ~level ~deps write =
+let fresh_node t ~tid ~level ~deps write =
   match t.graph with
-  | Some g -> Persist_graph.add_node g ~level ~deps write
+  | Some g -> Persist_graph.add_node g ~tid ~level ~deps write
   | None ->
     let id = t.next_node in
     t.next_node <- id + 1;
@@ -113,21 +143,28 @@ let reduce t set =
   | None -> set
   | Some g ->
     if Iset.cardinal set <= 1 then set
-    else
-      Iset.filter
-        (fun m ->
-          not
-            (Iset.exists
-               (fun n ->
-                 n <> m
-                 && Iset.mem m (Persist_graph.get g n).Persist_graph.deps)
-               set))
-        set
+    else begin
+      M.observe m_frontier_before (float_of_int (Iset.cardinal set));
+      let reduced =
+        Iset.filter
+          (fun m ->
+            not
+              (Iset.exists
+                 (fun n ->
+                   n <> m
+                   && Iset.mem m (Persist_graph.get g n).Persist_graph.deps)
+                 set))
+          set
+      in
+      M.observe m_frontier_after (float_of_int (Iset.cardinal reduced));
+      reduced
+    end
 
 (* Handle a persist-generating access whose dependence sources are
    [sources] (levels) and [deps_f] (graph frontier). *)
 let persist t (a : Event.access) ~sources ~deps_f =
   t.persist_events <- t.persist_events + 1;
+  M.incr m_persist_events;
   let pb = Memsim.Addr.block ~gran:t.cfg.Config.persist_gran a.addr in
   let write = { Persist_graph.addr = a.addr; size = a.size; value = a.value } in
   let full = List.fold_left Level.merge Level.bottom sources in
@@ -141,14 +178,23 @@ let persist t (a : Event.access) ~sources ~deps_f =
          produced by that persist is strictly older, and nothing has
          been ordered after the open persist yet. *)
       t.coalesced <- t.coalesced + 1;
+      M.incr m_coalesced;
+      op.merged <- op.merged + 1;
       (match t.graph with
       | Some g -> Persist_graph.coalesce_into g op.node ~deps:deps_f write
       | None -> ());
       (op.node, op.level)
-    | Some _ | None ->
+    | (Some _ | None) as replaced ->
       let level = Level.level full + 1 in
-      let node = fresh_node t ~level ~deps:deps_f write in
-      Hashtbl.replace t.opens pb { node; level };
+      let node = fresh_node t ~tid:a.tid ~level ~deps:deps_f write in
+      (* The block's previous open persist (if any) ends its coalescing
+         run here; runs still open at end of trace go unobserved. *)
+      (match replaced with
+      | Some op -> M.observe m_coalesce_run (float_of_int op.merged)
+      | None -> ());
+      Hashtbl.replace t.opens pb { node; level; merged = 1 };
+      M.incr m_persist_ops;
+      M.observe m_level (float_of_int level);
       (node, level)
   in
   (* This persist is now ordered after every source persist it did not
@@ -165,7 +211,10 @@ let persist t (a : Event.access) ~sources ~deps_f =
           (Level.provenance s))
     sources;
   if record_graph t then Vec.push t.persist_nodes node;
-  if level > t.max_level then t.max_level <- level;
+  if level > t.max_level then begin
+    t.max_level <- level;
+    M.observe_max m_cp (float_of_int level)
+  end;
   (Level.of_node ~level ~node, Iset.singleton node)
 
 let access t kind (a : Event.access) =
@@ -280,9 +329,11 @@ let barrier_of t (ts : tstate) =
 
 let observe t ev =
   t.events <- t.events + 1;
+  M.incr m_events;
   match ev with
   | Event.Access (kind, a) -> access t kind a
   | Event.Persist_barrier tid ->
+    M.incr m_barriers;
     (match t.cfg.Config.mode with
     | Config.Epoch | Config.Strand -> barrier_of t (thread t tid)
     | Config.Strict ->
@@ -296,6 +347,7 @@ let observe t ev =
         ts.ld_view <- ts.acc;
         if record_graph t then ts.ld_view_f <- ts.acc_f))
   | Event.New_strand tid ->
+    M.incr m_strands;
     (match t.cfg.Config.mode with
     | Config.Strand ->
       let ts = thread t tid in
@@ -305,6 +357,7 @@ let observe t ev =
       ts.acc_f <- Iset.empty
     | Config.Strict | Config.Epoch -> ())
   | Event.Label (_, name) ->
+    M.incr m_labels;
     (match Hashtbl.find_opt t.labels name with
     | Some r -> incr r
     | None -> Hashtbl.add t.labels name (ref 1))

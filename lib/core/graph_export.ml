@@ -1,0 +1,149 @@
+module Pg = Persist_graph
+
+(* Longest-path DP over a topological order of the dependence DAG.
+   [to_dag] adds dep -> node edges, so a node's predecessors are
+   exactly its dependences.  Returns (depth, best_pred) arrays where
+   [depth.(id)] is the longest chain ending at [id] (>= 1) and
+   [best_pred.(id)] the dependence achieving it (-1 at chain roots).
+   Ties break toward the smallest dependence id, making the extracted
+   chain deterministic. *)
+let longest_paths g =
+  let n = Pg.node_count g in
+  let depth = Array.make n 0 in
+  let best_pred = Array.make n (-1) in
+  (match Dag.topo_sort (Pg.to_dag g) with
+  | None -> invalid_arg "Graph_export: persist graph is cyclic"
+  | Some order ->
+    List.iter
+      (fun id ->
+        let node = Pg.get g id in
+        let d, p =
+          Iset.fold
+            (fun dep (d, p) ->
+              if depth.(dep) > d then (depth.(dep), dep) else (d, p))
+            node.Pg.deps (0, -1)
+        in
+        depth.(id) <- d + 1;
+        best_pred.(id) <- p)
+      order);
+  (depth, best_pred)
+
+let critical_chain g =
+  if Pg.node_count g = 0 then []
+  else begin
+    let depth, best_pred = longest_paths g in
+    let deepest = ref 0 in
+    Array.iteri (fun id d -> if d > depth.(!deepest) then deepest := id) depth;
+    let rec walk id acc =
+      if id < 0 then acc else walk best_pred.(id) (id :: acc)
+    in
+    walk !deepest []
+  end
+
+let chain_set g = Iset.of_list (critical_chain g)
+
+(* Distinct fill colors per thread, cycling; chosen light so the black
+   label stays readable. *)
+let tid_colors =
+  [| "lightblue"; "palegreen"; "lightyellow"; "lightpink"; "lavender";
+     "peachpuff"; "lightcyan"; "thistle" |]
+
+let to_dot ppf g =
+  let critical = chain_set g in
+  let on_chain id = Iset.mem id critical in
+  Format.fprintf ppf "digraph persist_graph {@.";
+  Format.fprintf ppf "  rankdir=TB;@.";
+  Format.fprintf ppf
+    "  node [shape=box, style=filled, fontname=\"monospace\"];@.";
+  Pg.iter
+    (fun n ->
+      let fill = tid_colors.(n.Pg.tid mod Array.length tid_colors) in
+      let extra =
+        if on_chain n.Pg.id then
+          ", color=red, penwidth=2.5, peripheries=2"
+        else ""
+      in
+      Format.fprintf ppf
+        "  n%d [label=\"n%d\\nlevel %d, tid %d\\n%d write(s)\", \
+         fillcolor=\"%s\"%s];@."
+        n.Pg.id n.Pg.id n.Pg.level n.Pg.tid
+        (Memsim.Vec.length n.Pg.writes)
+        fill extra)
+    g;
+  Pg.iter
+    (fun n ->
+      Iset.iter
+        (fun dep ->
+          (* chain edges: consecutive critical nodes where the deeper
+             one really chains through this dependence *)
+          let bold =
+            on_chain dep && on_chain n.Pg.id
+            && Pg.((get g n.id).level = (get g dep).level + 1)
+          in
+          let attrs = if bold then " [color=red, penwidth=2.0]" else "" in
+          Format.fprintf ppf "  n%d -> n%d%s;@." dep n.Pg.id attrs)
+        n.Pg.deps)
+    g;
+  Format.fprintf ppf "}@."
+
+let to_jsonl ppf g =
+  let critical = chain_set g in
+  Pg.iter
+    (fun n ->
+      let writes =
+        Memsim.Vec.fold_left
+          (fun acc (w : Pg.write) ->
+            Obs.Json.Obj
+              [ ("addr", Obs.Json.Int w.addr);
+                ("size", Obs.Json.Int w.size);
+                ("value", Obs.Json.Str (Int64.to_string w.value)) ]
+            :: acc)
+          [] n.Pg.writes
+      in
+      let deps =
+        List.map (fun d -> Obs.Json.Int d) (Iset.elements n.Pg.deps)
+      in
+      let line =
+        Obs.Json.Obj
+          [ ("id", Obs.Json.Int n.Pg.id);
+            ("tid", Obs.Json.Int n.Pg.tid);
+            ("level", Obs.Json.Int n.Pg.level);
+            ("critical", Obs.Json.Bool (Iset.mem n.Pg.id critical));
+            ("writes", Obs.Json.List (List.rev writes));
+            ("deps", Obs.Json.List deps) ]
+      in
+      Format.fprintf ppf "%s@." (Obs.Json.to_string line))
+    g
+
+let explain ppf g =
+  let chain = critical_chain g in
+  let len = List.length chain in
+  Format.fprintf ppf
+    "critical path: %d level(s) over %d node(s); longest dependence \
+     chain:@."
+    len (Pg.node_count g);
+  List.iteri
+    (fun i id ->
+      let n = Pg.get g id in
+      let w = Memsim.Vec.get n.Pg.writes 0 in
+      let extra = Memsim.Vec.length n.Pg.writes - 1 in
+      let cause =
+        if i = 0 then
+          if Iset.is_empty n.Pg.deps then "chain root"
+          else "chain root (deps all shallower)"
+        else
+          let prev = List.nth chain (i - 1) in
+          let others = Iset.cardinal n.Pg.deps - 1 in
+          if others > 0 then
+            Printf.sprintf "persists after n%d (+%d other dep(s))" prev
+              others
+          else Printf.sprintf "persists after n%d" prev
+      in
+      Format.fprintf ppf
+        "  level %*d: n%d (tid %d) persists %d byte(s) at 0x%x%s — %s@."
+        (String.length (string_of_int len))
+        n.Pg.level id n.Pg.tid w.Pg.size w.Pg.addr
+        (if extra > 0 then Printf.sprintf " (+%d coalesced write(s))" extra
+         else "")
+        cause)
+    chain

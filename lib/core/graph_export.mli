@@ -1,0 +1,35 @@
+(** Inspectors for the persist dependence graph: critical-chain
+    extraction, Graphviz DOT and JSON-lines exports, and a readable
+    persist-by-persist walk of the longest dependence chain.
+
+    These back [persistsim graph] and [persistsim analyze --explain];
+    they read a finished {!Persist_graph.t} and never mutate it. *)
+
+val critical_chain : Persist_graph.t -> int list
+(** One longest dependence chain, as node ids in dependence order
+    (each node persists after the one before it).  Its length equals
+    the graph's critical path — the engine's {!Engine.critical_path}
+    when the graph was recorded by an engine.  Ties are broken toward
+    the smallest node id at every step, so the chain is deterministic.
+    [[]] for an empty graph.
+    @raise Invalid_argument when the graph is cyclic (a recorded
+    persist graph never is). *)
+
+val to_dot : Format.formatter -> Persist_graph.t -> unit
+(** Graphviz DOT.  Nodes are annotated with level and thread id and
+    colored by thread; the nodes on {!critical_chain} are additionally
+    highlighted (double border, bold red) and the chain's edges drawn
+    bold, so the critical path is visible at a glance.  Edges point
+    dependence → dependent, i.e. in persist order. *)
+
+val to_jsonl : Format.formatter -> Persist_graph.t -> unit
+(** One JSON object per node per line:
+    [{"id":_,"tid":_,"level":_,"critical":_,"writes":[...],"deps":[...]}].
+    [critical] marks membership of {!critical_chain}.  Dependence ids
+    are sorted ascending. *)
+
+val explain : Format.formatter -> Persist_graph.t -> unit
+(** The longest dependence chain as a persist-by-persist walk: one line
+    per level, showing the node, its thread, its writes (first address
+    and coalesced-write count) and which dependence forced the level.
+    The number of steps equals the critical path. *)

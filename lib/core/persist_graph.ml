@@ -2,6 +2,7 @@ type write = { addr : int; size : int; value : int64 }
 
 type node = {
   id : int;
+  tid : int;
   mutable level : int;
   writes : write Memsim.Vec.t;
   mutable deps : Iset.t;
@@ -14,11 +15,11 @@ let create () = { nodes = Memsim.Vec.create () }
 let node_count t = Memsim.Vec.length t.nodes
 let get t id = Memsim.Vec.get t.nodes id
 
-let add_node t ~level ~deps write =
+let add_node t ~tid ~level ~deps write =
   let id = node_count t in
   let writes = Memsim.Vec.create () in
   Memsim.Vec.push writes write;
-  Memsim.Vec.push t.nodes { id; level; writes; deps = Iset.remove id deps };
+  Memsim.Vec.push t.nodes { id; tid; level; writes; deps = Iset.remove id deps };
   id
 
 let coalesce_into t id ~deps write =

@@ -14,6 +14,7 @@ type write = { addr : int; size : int; value : int64 }
 
 type node = {
   id : int;
+  tid : int;  (** thread that created the persist (first write) *)
   mutable level : int;
   writes : write Memsim.Vec.t;  (** in store order *)
   mutable deps : Iset.t;  (** node ids this node persists after *)
@@ -25,7 +26,7 @@ val create : unit -> t
 val node_count : t -> int
 val get : t -> int -> node
 
-val add_node : t -> level:int -> deps:Iset.t -> write -> int
+val add_node : t -> tid:int -> level:int -> deps:Iset.t -> write -> int
 (** Create a fresh atomic persist; returns its id.  [deps] never
     contains the new id. *)
 

@@ -1,4 +1,15 @@
 module Pg = Persistency.Persist_graph
+module M = Obs.Metrics
+
+let m_sims = M.counter M.default "drain.simulations"
+let m_persists = M.counter M.default "drain.persists"
+let m_full_stalls = M.counter M.default "drain.buffer_full_stalls"
+let m_sync_stalls = M.counter M.default "drain.sync_stalls"
+let m_stall_ns = M.gauge_max M.default "drain.emit_stall_ns_max"
+
+let m_occupancy =
+  (* buffer occupancy sampled at each persist emission *)
+  M.histogram M.default "drain.buffer_occupancy" ~buckets:(M.pow2_buckets 9)
 
 type result = {
   total_ns : float;
@@ -59,6 +70,7 @@ let simulate ?sync_every g ~ops ~insn_ns_per_op ~latency_ns ~depth =
   (match sync_every with
   | Some k when k <= 0 -> invalid_arg "Drain.simulate: sync_every must be > 0"
   | Some _ | None -> ());
+  M.incr m_sims;
   let n = Pg.node_count g in
   if n = 0 then
     { total_ns = float_of_int ops *. insn_ns_per_op;
@@ -83,6 +95,7 @@ let simulate ?sync_every g ~ops ~insn_ns_per_op ~latency_ns ~depth =
       (* A pending persist sync: execution waits for every outstanding
          persist to drain before emitting past the sync point. *)
       if float_of_int id >= !next_sync then begin
+        if Heap.size in_flight > 0 then M.incr m_sync_stalls;
         while Heap.size in_flight > 0 do
           let retire = Heap.pop_min in_flight in
           if retire > !clock then begin
@@ -97,7 +110,10 @@ let simulate ?sync_every g ~ops ~insn_ns_per_op ~latency_ns ~depth =
       (* Native emission point for this persist. *)
       let ready = float_of_int (id + 1) *. gap in
       clock := Float.max !clock ready;
+      M.incr m_persists;
+      M.observe m_occupancy (float_of_int (Heap.size in_flight));
       (* A full buffer stalls execution until a persist retires. *)
+      if Heap.size in_flight >= depth then M.incr m_full_stalls;
       while Heap.size in_flight >= depth do
         let retire = Heap.pop_min in_flight in
         if retire > !clock then begin
@@ -115,6 +131,7 @@ let simulate ?sync_every g ~ops ~insn_ns_per_op ~latency_ns ~depth =
       Heap.push in_flight done_at;
       if done_at > !makespan then makespan := done_at
     done;
+    M.observe_max m_stall_ns !stall;
     { total_ns = !makespan;
       emit_stall_ns = !stall;
       ops_per_sec = float_of_int ops /. (!makespan *. 1e-9) }

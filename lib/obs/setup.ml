@@ -1,0 +1,16 @@
+let activate ?metrics_out ?trace_out () =
+  (match metrics_out with
+  | Some path ->
+    Metrics.set_enabled Metrics.default true;
+    at_exit (fun () -> Metrics.dump_file Metrics.default path)
+  | None -> ());
+  match trace_out with
+  | Some path ->
+    Tracer.enable ();
+    at_exit (fun () -> Tracer.write_file path)
+  | None -> ()
+
+let from_env () =
+  activate
+    ?metrics_out:(Sys.getenv_opt "METRICS_OUT")
+    ?trace_out:(Sys.getenv_opt "TRACE_OUT") ()

@@ -1,0 +1,12 @@
+(** One-call activation of the observability sinks.
+
+    [activate ?metrics_out ?trace_out ()] enables the default metrics
+    registry and/or the span tracer and registers [at_exit] writers, so
+    a CLI or harness only threads the two file names through.  The CLI
+    exposes them as [--metrics-out] / [--trace-out]; {!from_env} reads
+    [METRICS_OUT] / [TRACE_OUT] for harnesses without flag plumbing
+    (the bench harness, the fuzz tests). *)
+
+val activate : ?metrics_out:string -> ?trace_out:string -> unit -> unit
+
+val from_env : unit -> unit

@@ -1,0 +1,91 @@
+type event = {
+  name : string;
+  cat : string;
+  ph : char;  (* 'B', 'E' or 'i' *)
+  ts_us : float;
+  tid : int;
+  args : (string * string) list;
+}
+
+(* Process-wide singleton.  [live] is toggled only before domains are
+   spawned (CLI/env setup); recording takes the mutex. *)
+let live = ref false
+let mu = Mutex.create ()
+let events : event list ref = ref []  (* newest first *)
+let t0 = ref 0.
+
+let enabled () = !live
+
+let enable () =
+  if not !live then begin
+    t0 := Unix.gettimeofday ();
+    live := true
+  end
+
+let clear () =
+  Mutex.lock mu;
+  live := false;
+  events := [];
+  Mutex.unlock mu
+
+let record ph ?(cat = "") ?(args = []) name =
+  if !live then begin
+    let ts_us = (Unix.gettimeofday () -. !t0) *. 1e6 in
+    let tid = (Domain.self () :> int) in
+    let ev = { name; cat; ph; ts_us; tid; args } in
+    Mutex.lock mu;
+    events := ev :: !events;
+    Mutex.unlock mu
+  end
+
+let begin_span ?cat ?args name = record 'B' ?cat ?args name
+let end_span ?cat name = record 'E' ?cat name
+let instant ?cat ?args name = record 'i' ?cat ?args name
+
+let with_span ?cat ?args name f =
+  if !live then begin
+    begin_span ?cat ?args name;
+    Fun.protect ~finally:(fun () -> end_span ?cat name) f
+  end
+  else f ()
+
+let event_count () =
+  Mutex.lock mu;
+  let n = List.length !events in
+  Mutex.unlock mu;
+  n
+
+let event_json ev =
+  let base =
+    [ ("name", Json.Str ev.name);
+      ("cat", Json.Str (if ev.cat = "" then "default" else ev.cat));
+      ("ph", Json.Str (String.make 1 ev.ph));
+      ("ts", Json.Float ev.ts_us);
+      ("pid", Json.Int 0);
+      ("tid", Json.Int ev.tid) ]
+  in
+  let base =
+    if ev.ph = 'i' then base @ [ ("s", Json.Str "t") ] else base
+  in
+  match ev.args with
+  | [] -> Json.Obj base
+  | args ->
+    Json.Obj
+      (base
+      @ [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)) ])
+
+let to_json () =
+  Mutex.lock mu;
+  let evs = List.rev !events in
+  Mutex.unlock mu;
+  Json.Obj
+    [ ("traceEvents", Json.List (List.map event_json evs));
+      ("displayTimeUnit", Json.Str "ms") ]
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json ()));
+      output_char oc '\n')

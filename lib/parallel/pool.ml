@@ -14,6 +14,17 @@ let () =
 
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
 
+module M = Obs.Metrics
+
+let m_sweeps = M.counter M.default "pool.sweeps"
+let m_cells = M.counter M.default "pool.cells"
+let m_steals = M.counter M.default "pool.steals"
+let m_domains = M.gauge_max M.default "pool.domains"
+
+let m_cell_seconds =
+  M.histogram M.default "pool.cell_seconds"
+    ~buckets:[| 0.001; 0.01; 0.1; 1.; 10.; 100. |]
+
 type profile = {
   domains : int;
   wall_seconds : float;
@@ -38,7 +49,21 @@ let run_cell f cell =
       let backtrace = Printexc.get_backtrace () in
       Failed { message = Printexc.to_string e; backtrace }
   in
-  (outcome, now () -. t0)
+  let dt = now () -. t0 in
+  M.incr m_cells;
+  M.observe m_cell_seconds dt;
+  (outcome, dt)
+
+(* Runs [run_cell] under a tracing span named after the cell.  The span
+   is emitted from the executing domain, so its tid in the trace is the
+   domain that owned the cell. *)
+let run_cell_traced ~label ~index f cell =
+  if Obs.Tracer.enabled () then
+    Obs.Tracer.with_span ~cat:"cell"
+      ~args:[ ("index", string_of_int index) ]
+      (label index cell)
+      (fun () -> run_cell f cell)
+  else run_cell f cell
 
 (* Per-worker deque of cell indices.  The owner pops from the front
    (keeping its share in input order, the cache-friendly direction);
@@ -96,13 +121,15 @@ let map_cells_profiled ?domains ?(label = fun i _ -> Printf.sprintf "cell %d" i)
   let workers = max 1 (min requested n) in
   let slots = Array.make n Pending in
   let times = Array.make n 0. in
+  M.incr m_sweeps;
+  M.observe_max m_domains (float_of_int workers);
   let t0 = now () in
   if workers <= 1 then
     (* Sequential fallback: no domain is spawned, cells run in input
        order in the calling domain. *)
     Array.iteri
       (fun i cell ->
-        let outcome, dt = run_cell f cell in
+        let outcome, dt = run_cell_traced ~label ~index:i f cell in
         slots.(i) <- outcome;
         times.(i) <- dt)
       cells
@@ -127,7 +154,7 @@ let map_cells_profiled ?domains ?(label = fun i _ -> Printf.sprintf "cell %d" i)
             if k = workers then None
             else
               match steal_back deques.((w + k) mod workers) with
-              | Some i -> Some i
+              | Some i -> M.incr m_steals; Some i
               | None -> scan (k + 1)
           in
           scan 1
@@ -135,7 +162,7 @@ let map_cells_profiled ?domains ?(label = fun i _ -> Printf.sprintf "cell %d" i)
         match next () with
         | None -> ()
         | Some i ->
-          let outcome, dt = run_cell f cells.(i) in
+          let outcome, dt = run_cell_traced ~label ~index:i f cells.(i) in
           slots.(i) <- outcome;
           times.(i) <- dt;
           loop ()
@@ -173,13 +200,22 @@ let render_profile p =
         (fun (bl, bt) (l, t) -> if t > bt then (l, t) else (bl, bt))
         ("", neg_infinity) p.cells
     in
-    let speedup = if p.wall_seconds > 0. then total /. p.wall_seconds else 1. in
+    let speedup =
+      (* A zero wall clock (timer granularity) makes the ratio
+         meaningless; say so rather than printing a fictitious 1.00x. *)
+      if p.wall_seconds > 0. then
+        Printf.sprintf "%.2fx" (total /. p.wall_seconds)
+      else "n/a"
+    in
+    let p95 = Pstats.Summary.percentile 0.95 (List.map snd p.cells) in
     Printf.sprintf
       "sweep profile: %d cells on %d domain(s): wall %.3f s, cells sum %.3f s \
-       (speedup %.2fx)\n\
-      \  per cell: mean %.3f s, min %.3f s, max %.3f s; slowest %s (%.3f s)\n"
+       (speedup %s)\n\
+      \  per cell: mean %.3f s, min %.3f s, p95 %.3f s, max %.3f s; slowest \
+       %s (%.3f s)\n"
       (Pstats.Summary.count s) p.domains p.wall_seconds total speedup
       (Pstats.Summary.mean s)
       (Pstats.Summary.min_value s)
+      p95
       (Pstats.Summary.max_value s)
       (fst slowest) (snd slowest)

@@ -56,5 +56,6 @@ val profile_summary : profile -> Pstats.Summary.t
 
 val render_profile : profile -> string
 (** The sweep-profile footer: cell count, domains, wall clock, the sum
-    of per-cell times (sequential-equivalent), speedup, per-cell
-    mean/min/max and the slowest cell. *)
+    of per-cell times (sequential-equivalent), speedup ([n/a] when the
+    wall clock rounded to zero), per-cell mean/min/p95/max and the
+    slowest cell. *)

@@ -35,6 +35,18 @@ let of_list xs =
   List.iter (add t) xs;
   t
 
+let percentile p xs =
+  if p < 0. || p > 1. then invalid_arg "Summary.percentile: p outside [0, 1]";
+  match xs with
+  | [] -> Float.nan
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    (* nearest rank: ceil (p * n), clamped to a valid index *)
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+
 let pp ppf t =
   Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.n (mean t)
     (stddev t) (min_value t) (max_value t)

@@ -16,4 +16,12 @@ val stddev : t -> float
 val min_value : t -> float
 val max_value : t -> float
 val of_list : float list -> t
+
+val percentile : float -> float list -> float
+(** [percentile p xs] is the smallest observation such that at least
+    [p] (in [0, 1]) of [xs] are at or below it (nearest-rank method;
+    exact, sorts the list).  [nan] when empty.  The streaming summary
+    cannot answer this, so it takes the raw observations.
+    @raise Invalid_argument when [p] is outside [0, 1]. *)
+
 val pp : Format.formatter -> t -> unit

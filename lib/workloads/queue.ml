@@ -1,4 +1,10 @@
 module M = Memsim.Machine
+module Om = Obs.Metrics
+
+let m_runs = Om.counter Om.default "workload.queue.runs"
+let m_inserts = Om.counter Om.default "workload.queue.inserts"
+let m_events = Om.counter Om.default "workload.queue.events"
+let m_threads = Om.gauge_max Om.default "workload.queue.threads_max"
 
 type design =
   | Cwl
@@ -272,6 +278,10 @@ let run p ~sink =
              done))
     done);
   M.run machine;
+  Om.incr m_runs;
+  Om.add m_inserts (p.threads * p.inserts_per_thread);
+  Om.add m_events (M.event_count machine);
+  Om.observe_max m_threads (float_of_int p.threads);
   { layout;
     inserts = p.threads * p.inserts_per_thread;
     events = M.event_count machine;

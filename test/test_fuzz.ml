@@ -79,9 +79,19 @@ let fail_with_trace ~name ~seed events fmt =
         name seed msg (replayable events))
     fmt
 
+(* Each fuzz iteration is a span when TRACE_OUT is set, so a campaign's
+   timeline shows iteration cost and the domain that ran it. *)
+let traced ~name ~seed f =
+  if Obs.Tracer.enabled () then
+    Obs.Tracer.with_span ~cat:"fuzz"
+      ~args:[ ("seed", string_of_int seed) ]
+      name f
+  else f ()
+
 (* One fuzz campaign: [count] seeded traces against one configuration. *)
 let fuzz_config ~name ~count mk_cfg =
   for seed = 1 to count do
+    traced ~name ~seed @@ fun () ->
     let rng = Random.State.make [| 0x9e3779b9; seed |] in
     let events = gen_trace rng in
     let trace = Memsim.Trace.of_list events in
@@ -166,6 +176,7 @@ let test_all_campaigns () =
 let test_one c () = fuzz_config ~name:c.c_name ~count:c.count c.mk_cfg
 
 let () =
+  Obs.Setup.from_env ();
   Alcotest.run "fuzz"
     [ ( "differential",
         Alcotest.test_case

@@ -57,7 +57,7 @@ let chain_graph n =
   for i = 0 to n - 1 do
     let deps = if i = 0 then P.Iset.empty else P.Iset.singleton (i - 1) in
     ignore
-      (P.Persist_graph.add_node g ~level:(i + 1) ~deps
+      (P.Persist_graph.add_node g ~tid:0 ~level:(i + 1) ~deps
          { P.Persist_graph.addr = 8; size = 8; value = 0L })
   done;
   g
@@ -66,7 +66,7 @@ let independent_graph n =
   let g = P.Persist_graph.create () in
   for i = 0 to n - 1 do
     ignore
-      (P.Persist_graph.add_node g ~level:1 ~deps:P.Iset.empty
+      (P.Persist_graph.add_node g ~tid:0 ~level:1 ~deps:P.Iset.empty
          { P.Persist_graph.addr = 8 * (i + 1); size = 8; value = 0L })
   done;
   g

@@ -1,0 +1,367 @@
+(* The observability layer: JSON round-trips, the metrics registry
+   (bucketing, disabled-mode no-ops, engine counters vs the registry
+   dump), the span tracer (balanced, well-formed Chrome trace JSON) and
+   the persist-graph inspectors (critical chain vs engine critical
+   path, DOT/JSONL shape, the --explain walk). *)
+
+module J = Obs.Json
+module M = Obs.Metrics
+module P = Persistency
+
+let parse s =
+  match J.of_string s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "JSON parse error: %s\nin: %s" msg s
+
+let member name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing JSON field %S in %s" name (J.to_string j)
+
+(* Json *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [ ("a", J.Int 42); ("b", J.Float 1.5); ("s", J.Str "x\"y\n");
+        ("l", J.List [ J.Null; J.Bool true; J.Bool false ]);
+        ("neg", J.Int (-7)) ]
+  in
+  Alcotest.(check bool) "round-trips" true (parse (J.to_string v) = v);
+  (match J.of_string "{\"a\": 1} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match J.of_string "[1, 2.0, -3e2]" with
+  | Ok (J.List [ J.Int 1; J.Float 2.0; J.Float -300. ]) -> ()
+  | other ->
+    Alcotest.failf "number parsing: %s"
+      (match other with Ok v -> J.to_string v | Error e -> e)
+
+(* Metrics *)
+
+let test_counter_and_gauge () =
+  let r = M.create () in
+  M.set_enabled r true;
+  let c = M.counter r "c" in
+  let g = M.gauge_max r "g" in
+  M.incr c;
+  M.add c 4;
+  M.observe_max g 2.5;
+  M.observe_max g 1.0;
+  Alcotest.(check int) "counter" 5 (M.counter_value c);
+  Alcotest.(check (float 0.)) "gauge keeps max" 2.5 (M.gauge_value g);
+  Alcotest.(check bool) "same name, same instrument" true
+    (M.counter_value (M.counter r "c") = 5);
+  (match M.gauge_max r "c" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "type clash accepted");
+  M.reset r;
+  Alcotest.(check int) "reset zeroes counters" 0 (M.counter_value c);
+  Alcotest.(check (float 0.)) "reset zeroes gauges" 0. (M.gauge_value g)
+
+let test_histogram_bucketing () =
+  let r = M.create () in
+  M.set_enabled r true;
+  let h = M.histogram r "h" ~buckets:[| 1.; 2.; 4. |] in
+  List.iter (M.observe h) [ 0.5; 1.0; 1.5; 2.0; 3.0; 4.0; 100.0 ];
+  Alcotest.(check int) "count" 7 (M.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 112.0 (M.histogram_sum h);
+  Alcotest.(check (list (pair (float 0.) int)))
+    "inclusive upper bounds, overflow last"
+    [ (1., 2); (2., 2); (4., 2); (infinity, 1) ]
+    (M.histogram_buckets h);
+  (match M.histogram r "bad" ~buckets:[| 2.; 1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-ascending buckets accepted");
+  match M.histogram r "h" ~buckets:[| 1.; 2. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bucket mismatch accepted"
+
+let test_disabled_is_noop () =
+  let r = M.create () in
+  let c = M.counter r "c" in
+  let g = M.gauge_max r "g" in
+  let h = M.histogram r "h" ~buckets:[| 1. |] in
+  M.incr c;
+  M.add c 10;
+  M.observe_max g 5.;
+  M.observe h 0.5;
+  Alcotest.(check int) "counter untouched" 0 (M.counter_value c);
+  Alcotest.(check (float 0.)) "gauge untouched" 0. (M.gauge_value g);
+  Alcotest.(check int) "histogram untouched" 0 (M.histogram_count h);
+  (* enabling later starts counting *)
+  M.set_enabled r true;
+  M.incr c;
+  Alcotest.(check int) "counts once enabled" 1 (M.counter_value c)
+
+let test_pow2_buckets () =
+  Alcotest.(check (list (float 0.)))
+    "1, 2, 4, 8" [ 1.; 2.; 4.; 8. ]
+    (Array.to_list (M.pow2_buckets 4))
+
+(* Engine counters vs the registry dump.  The default registry is
+   process-wide state shared with every other test in this executable,
+   so reset it around the check. *)
+
+let find_metric dump name =
+  let metrics =
+    match member "metrics" dump with
+    | J.List l -> l
+    | _ -> Alcotest.fail "\"metrics\" is not a list"
+  in
+  match
+    List.find_opt
+      (fun m -> match J.member "name" m with
+        | Some (J.Str n) -> n = name
+        | _ -> false)
+      metrics
+  with
+  | Some m -> m
+  | None -> Alcotest.failf "metric %S not in dump" name
+
+let metric_value dump name =
+  match J.to_float (member "value" (find_metric dump name)) with
+  | Some v -> v
+  | None -> Alcotest.failf "metric %S has no numeric value" name
+
+let test_metrics_dump_matches_engine () =
+  M.reset M.default;
+  M.set_enabled M.default true;
+  let engine, inserts =
+    Fun.protect
+      ~finally:(fun () -> M.set_enabled M.default false)
+      (fun () ->
+        let params =
+          Experiments.Run.queue_params ~threads:2 ~total_inserts:200
+            Experiments.Run.epoch_point
+        in
+        let trace = Memsim.Trace.create () in
+        let result =
+          Workloads.Queue.run params ~sink:(Memsim.Trace.sink trace)
+        in
+        let engine = P.Engine.create (P.Config.make P.Config.Epoch) in
+        P.Engine.observe_trace engine trace;
+        (engine, result.Workloads.Queue.inserts))
+  in
+  let dump = parse (J.to_string (M.to_json M.default)) in
+  let check name expected =
+    Alcotest.(check (float 0.)) name (float_of_int expected)
+      (metric_value dump name)
+  in
+  check "engine.events" (P.Engine.events engine);
+  check "engine.persist_events" (P.Engine.persist_events engine);
+  check "engine.persist_ops" (P.Engine.persist_ops engine);
+  check "engine.coalesced" (P.Engine.coalesced engine);
+  check "engine.critical_path_max" (P.Engine.critical_path engine);
+  (* histograms are present and populated *)
+  let level = find_metric dump "engine.persist_level" in
+  (match J.to_float (member "count" level) with
+  | Some c when c > 0. -> ()
+  | _ -> Alcotest.fail "engine.persist_level has no observations");
+  (* the workload layer registered too *)
+  check "workload.queue.inserts" inserts
+
+(* Tracer *)
+
+let test_trace_json_balanced () =
+  Obs.Tracer.clear ();
+  Obs.Tracer.enable ();
+  Obs.Tracer.with_span ~cat:"phase" "outer" (fun () ->
+      Obs.Tracer.with_span ~cat:"cell" ~args:[ ("index", "0") ] "inner"
+        (fun () -> ());
+      Obs.Tracer.instant "marker");
+  (* a raising thunk still closes its span *)
+  (try
+     Obs.Tracer.with_span "raiser" (fun () -> raise Exit)
+   with Exit -> ());
+  let j = parse (J.to_string (Obs.Tracer.to_json ())) in
+  Obs.Tracer.clear ();
+  let events =
+    match member "traceEvents" j with
+    | J.List l -> l
+    | _ -> Alcotest.fail "traceEvents is not a list"
+  in
+  Alcotest.(check int) "3 B + 3 E + 1 i" 7 (List.length events);
+  let depth = ref 0 in
+  List.iter
+    (fun ev ->
+      let str name =
+        match member name ev with
+        | J.Str s -> s
+        | _ -> Alcotest.failf "event field %S missing/not a string" name
+      in
+      (* every event is well-formed: name, ph, numeric ts/pid/tid *)
+      ignore (str "name");
+      List.iter
+        (fun f ->
+          match J.to_float (member f ev) with
+          | Some _ -> ()
+          | None -> Alcotest.failf "event field %S not numeric" f)
+        [ "ts"; "pid"; "tid" ];
+      match str "ph" with
+      | "B" -> incr depth
+      | "E" ->
+        decr depth;
+        if !depth < 0 then Alcotest.fail "E before matching B"
+      | "i" -> ()
+      | ph -> Alcotest.failf "unexpected phase %S" ph)
+    events;
+  Alcotest.(check int) "spans balanced" 0 !depth
+
+let test_trace_disabled_records_nothing () =
+  Obs.Tracer.clear ();
+  Obs.Tracer.with_span "ignored" (fun () -> ());
+  Obs.Tracer.instant "ignored";
+  Alcotest.(check int) "no events" 0 (Obs.Tracer.event_count ())
+
+(* Graph inspectors *)
+
+let recorded_engine () =
+  let params =
+    Experiments.Run.queue_params ~threads:2 ~total_inserts:16
+      ~capacity_entries:16 Experiments.Run.epoch_point
+  in
+  let m, graph, _ =
+    Experiments.Run.analyze_with_graph params
+      (P.Config.make P.Config.Epoch)
+  in
+  (m, graph)
+
+let test_critical_chain_length () =
+  let m, graph = recorded_engine () in
+  let chain = P.Graph_export.critical_chain graph in
+  Alcotest.(check int) "chain length = engine critical path"
+    m.Experiments.Run.critical_path (List.length chain);
+  (* the chain really is a dependence chain, in order *)
+  List.iteri
+    (fun i id ->
+      if i > 0 then
+        let n = P.Persist_graph.get graph id in
+        let prev = List.nth chain (i - 1) in
+        Alcotest.(check bool)
+          (Printf.sprintf "n%d persists after n%d" id prev)
+          true
+          (P.Iset.mem prev n.P.Persist_graph.deps))
+    chain
+
+let test_dot_export () =
+  let _, graph = recorded_engine () in
+  let chain = P.Graph_export.critical_chain graph in
+  let dot = Format.asprintf "%a" P.Graph_export.to_dot graph in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 8 && String.sub dot 0 8 = "digraph ");
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  (* every chain node is highlighted *)
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "n%d highlighted" id)
+        true
+        (contains (Printf.sprintf "n%d [label=" id) dot))
+    chain;
+  Alcotest.(check bool) "critical color present" true
+    (contains "color=red" dot);
+  (* level and thread annotations appear in node labels *)
+  Alcotest.(check bool) "level annotation" true (contains "level " dot);
+  Alcotest.(check bool) "tid annotation" true (contains "tid " dot)
+
+let test_jsonl_export () =
+  let m, graph = recorded_engine () in
+  let jsonl = Format.asprintf "%a" P.Graph_export.to_jsonl graph in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+  in
+  Alcotest.(check int) "one line per node"
+    (P.Persist_graph.node_count graph)
+    (List.length lines);
+  let criticals = ref 0 in
+  List.iter
+    (fun line ->
+      let j = parse line in
+      List.iter
+        (fun f -> ignore (member f j))
+        [ "id"; "tid"; "level"; "critical"; "writes"; "deps" ];
+      match member "critical" j with
+      | J.Bool true -> incr criticals
+      | J.Bool false -> ()
+      | _ -> Alcotest.fail "critical is not a bool")
+    lines;
+  Alcotest.(check int) "critical nodes = critical path"
+    m.Experiments.Run.critical_path !criticals
+
+let test_explain_walk () =
+  let m, graph = recorded_engine () in
+  let out = Format.asprintf "%a" P.Graph_export.explain graph in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' out)
+  in
+  (* one header plus one line per level of the critical path *)
+  Alcotest.(check int) "header + one line per level"
+    (m.Experiments.Run.critical_path + 1)
+    (List.length lines)
+
+(* Pool percentile helper *)
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 0.)) "p95 of 1..100" 95.
+    (Pstats.Summary.percentile 0.95 xs);
+  Alcotest.(check (float 0.)) "p0 is min" 1.
+    (Pstats.Summary.percentile 0. xs);
+  Alcotest.(check (float 0.)) "p100 is max" 100.
+    (Pstats.Summary.percentile 1. xs);
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Pstats.Summary.percentile 0.5 []));
+  match Pstats.Summary.percentile 1.5 xs with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range p accepted"
+
+let test_render_profile_na () =
+  let p =
+    { Parallel.Pool.domains = 1;
+      wall_seconds = 0.;
+      cells = [ ("only", 0.) ] }
+  in
+  let s = Parallel.Pool.render_profile p in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "zero wall clock says n/a" true
+    (contains "speedup n/a" s);
+  Alcotest.(check bool) "p95 present" true (contains "p95" s)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "json",
+        [ Alcotest.test_case "round-trip and rejection" `Quick
+            test_json_roundtrip ] );
+      ( "metrics",
+        [ Alcotest.test_case "counter and gauge" `Quick test_counter_and_gauge;
+          Alcotest.test_case "histogram bucketing" `Quick
+            test_histogram_bucketing;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_disabled_is_noop;
+          Alcotest.test_case "pow2 buckets" `Quick test_pow2_buckets;
+          Alcotest.test_case "dump matches engine accessors" `Quick
+            test_metrics_dump_matches_engine ] );
+      ( "tracer",
+        [ Alcotest.test_case "balanced well-formed events" `Quick
+            test_trace_json_balanced;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_trace_disabled_records_nothing ] );
+      ( "graph export",
+        [ Alcotest.test_case "critical chain length" `Quick
+            test_critical_chain_length;
+          Alcotest.test_case "dot" `Quick test_dot_export;
+          Alcotest.test_case "jsonl" `Quick test_jsonl_export;
+          Alcotest.test_case "explain walk" `Quick test_explain_walk ] );
+      ( "pool",
+        [ Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "render_profile n/a and p95" `Quick
+            test_render_profile_na ] ) ]
