@@ -38,6 +38,8 @@ smoke: build
 	python3 -m json.tool /tmp/persistsim-trace.json > /dev/null
 	dune exec bin/persistsim.exe -- graph --design cwl --model epoch --out /tmp/persistsim-graph.dot
 	grep -q "digraph persist_graph" /tmp/persistsim-graph.dot
+	dune exec bin/persistsim.exe -- kv --inserts 100 > /dev/null
+	dune exec bin/persistsim.exe -- kv --recovery --samples 100 > /dev/null
 
 # What .github/workflows/ci.yml runs.
 ci: fmt-check build test smoke

@@ -100,6 +100,12 @@ let reproduce () =
   let cx = Experiments.Consistency_exp.run ~jobs ~total_inserts:repro_inserts () in
   on_profile cx.Experiments.Consistency_exp.profile;
   print_string (Experiments.Consistency_exp.render cx);
+  banner "KV store (persist critical path per operation)";
+  let kv =
+    Experiments.Kv_exp.run ~jobs ~total_ops:(min repro_inserts 4096) ()
+  in
+  on_profile kv.Experiments.Kv_exp.profile;
+  print_string (Experiments.Kv_exp.render kv);
   banner "Model vs cache implementation";
   print_string
     (Experiments.Cache_impl.render
@@ -151,6 +157,35 @@ let bench_recovery_sampling =
          with
          | Ok () -> ()
          | Error msg -> failwith msg))
+
+let bench_kv_store =
+  Test.make ~name:"workload:kv-store"
+    (Staged.stage (fun () ->
+         let params =
+           Experiments.Kv_exp.kv_params ~threads:2
+             ~total_ops:micro_inserts Persistency.Config.Strand
+         in
+         ignore
+           (Experiments.Kv_exp.analyze params
+              (Persistency.Config.make Persistency.Config.Strand))))
+
+let bench_kv_recovery =
+  let params =
+    Experiments.Kv_exp.kv_params ~threads:2 ~total_ops:32
+      Persistency.Config.Epoch
+  in
+  let _, graph, layout =
+    Experiments.Kv_exp.analyze_with_graph params
+      (Persistency.Config.make Persistency.Config.Epoch)
+  in
+  Test.make ~name:"recovery:kv-sampling"
+    (Staged.stage (fun () ->
+         match
+           Kv_recovery.verify ~params ~layout ~graph
+             ~strategy:(Recovery.Sampled { samples = 20; seed = 1 })
+         with
+         | Ok _ -> ()
+         | Error f -> failwith (Recovery.render_failure f)))
 
 (* one Test.make per table/figure: time the full regeneration pipeline
    at reduced size *)
@@ -222,7 +257,8 @@ let tests =
     bench_engine Persistency.Config.Strict;
     bench_engine Persistency.Config.Epoch;
     bench_engine Persistency.Config.Strand;
-    bench_recovery_sampling; bench_drain; bench_epoch_hw; bench_txn_commit ]
+    bench_recovery_sampling; bench_kv_store; bench_kv_recovery; bench_drain;
+    bench_epoch_hw; bench_txn_commit ]
 
 let run_benchmarks () =
   banner "MICROBENCHMARKS (Bechamel, monotonic clock)";

@@ -272,7 +272,6 @@ let recovery_cmd =
     in
     let cfg = Persistency.Config.make model.Experiments.Run.mode in
     let _, graph, layout = Experiments.Run.analyze_with_graph params cfg in
-    let capacity = layout.Workloads.Queue.data_addr + layout.Workloads.Queue.data_bytes in
     Printf.printf
       "%s / %s%s: %d threads x %d inserts, %d atomic persists, %d crash states sampled\n"
       (Workloads.Queue.design_name design)
@@ -282,13 +281,13 @@ let recovery_cmd =
       (Persistency.Persist_graph.node_count graph)
       samples;
     match
-      Persistency.Observer.check_cut_invariant graph
-        (Workloads.Queue_recovery.checker ~params ~layout)
-        ~capacity ~samples ~seed:params.Workloads.Queue.seed
+      Workloads.Queue_recovery.verify ~params ~layout ~graph
+        ~strategy:
+          (Recovery.Sampled { samples; seed = params.Workloads.Queue.seed })
     with
-    | Ok () -> print_endline "recovery invariant holds in every sampled crash state"
-    | Error msg ->
-      Printf.printf "RECOVERY VIOLATION: %s\n" msg;
+    | Ok _ -> print_endline "recovery invariant holds in every sampled crash state"
+    | Error f ->
+      Printf.printf "RECOVERY VIOLATION: %s\n" (Recovery.render_failure f);
       if not buggy then exit 1
   in
   let samples_t =
@@ -311,6 +310,80 @@ let recovery_cmd =
              observer and check queue recovery.")
     Term.(const run $ obs_t $ design_t $ model_t $ threads_t 2
           $ inserts_small_t $ samples_t $ buggy_t)
+
+(* kv *)
+
+let kv_cmd =
+  let sweep total_ops csv jobs =
+    let total_ops =
+      Option.value ~default:Experiments.Kv_exp.default_total_ops total_ops
+    in
+    let t = Experiments.Kv_exp.run ~jobs ~total_ops () in
+    rendering (fun () ->
+        print_string
+          (if csv then Experiments.Kv_exp.to_csv t
+           else Experiments.Kv_exp.render t));
+    print_profile t.Experiments.Kv_exp.profile
+  in
+  let failure_inject total_ops (model : Experiments.Run.model_point) threads
+      samples buggy =
+    let total_ops = Option.value ~default:32 total_ops in
+    let params =
+      Experiments.Kv_exp.kv_params ~threads ~total_ops model.mode
+    in
+    let params =
+      if buggy then { params with Kv.discipline = Kv.Buggy_undo } else params
+    in
+    let cfg = Persistency.Config.make model.mode in
+    let _, graph, layout = Experiments.Kv_exp.analyze_with_graph params cfg in
+    Printf.printf
+      "kv / %s%s: %d threads x %d ops, %d atomic persists, %d crash states \
+       sampled\n"
+      (Kv.discipline_name params.Kv.discipline)
+      (if buggy then " (buggy: seal->slot barrier removed)" else "")
+      threads params.Kv.ops_per_thread
+      (Persistency.Persist_graph.node_count graph)
+      samples;
+    match
+      Kv_recovery.verify ~params ~layout ~graph
+        ~strategy:(Recovery.Sampled { samples; seed = params.Kv.seed })
+    with
+    | Ok _ ->
+      print_endline "recovery invariant holds in every sampled crash state"
+    | Error f ->
+      Printf.printf "RECOVERY VIOLATION: %s\n" (Recovery.render_failure f);
+      if not buggy then exit 1
+  in
+  let run () total_ops csv jobs recovery model threads samples buggy =
+    if recovery || buggy then failure_inject total_ops model threads samples buggy
+    else sweep total_ops csv jobs
+  in
+  let ops_t =
+    Arg.(value & opt (some int) None & info [ "inserts"; "ops" ] ~docv:"N"
+           ~doc:"Total operations per configuration (default: 4096 for the \
+                 sweep, 32 for --recovery).")
+  in
+  let recovery_t =
+    Arg.(value & flag & info [ "recovery" ]
+           ~doc:"Failure injection instead of the sweep: sample legal crash \
+                 states of one configuration and check KV recovery.")
+  in
+  let samples_t =
+    Arg.(value & opt int 500 & info [ "samples" ] ~docv:"N"
+           ~doc:"Number of random crash states to test (with --recovery).")
+  in
+  let buggy_t =
+    Arg.(value & flag & info [ "buggy" ]
+           ~doc:"With --recovery: drop the seal->slot persist barrier to \
+                 demonstrate a detectable crash-consistency bug.")
+  in
+  Cmd.v
+    (Cmd.info "kv"
+       ~doc:"KV store workload: sweep persist critical path per operation \
+             over models x threads x load, or failure-inject one \
+             configuration (--recovery).")
+    Term.(const run $ obs_t $ ops_t $ csv_t $ jobs_t $ recovery_t $ model_t
+          $ threads_t 2 $ samples_t $ buggy_t)
 
 (* trace *)
 
@@ -541,7 +614,7 @@ let main =
   Cmd.group
     (Cmd.info "persistsim" ~version:"1.0.0" ~doc)
     [ table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; validate_cmd; recovery_cmd;
-      trace_cmd; analyze_cmd; graph_cmd; ablation_cmd; calibrate_cmd;
+      kv_cmd; trace_cmd; analyze_cmd; graph_cmd; ablation_cmd; calibrate_cmd;
       cache_cmd; wear_cmd; consistency_cmd ]
 
 let () = exit (Cmd.eval main)

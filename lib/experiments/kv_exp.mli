@@ -1,0 +1,83 @@
+(** KV-store experiment: persist critical path per operation for the
+    hash-table workload ({!Kv}), swept over persistency models, thread
+    counts and load factors with the Table 1 methodology.
+
+    Each model runs the discipline the paper pairs it with
+    ({!Kv.discipline_for}): strict = plain stores, epoch = undo log +
+    two barriers per put, strand = undo log + barriers + one strand per
+    operation.  With two or more threads the strand column should be
+    strictly lowest: strands split the persist order by bucket group,
+    so the critical path collapses to the hottest slot chain. *)
+
+type metrics = {
+  puts : int;
+  gets : int;
+  probes : int;
+  events : int;
+  persist_events : int;
+  persist_ops : int;
+  coalesced : int;
+  critical_path : int;
+  cp_per_put : float;
+  cp_per_op : float;  (** critical path / (puts + gets) *)
+}
+
+val analyze : Kv.params -> Persistency.Config.t -> metrics
+
+val analyze_with_graph :
+  Kv.params ->
+  Persistency.Config.t ->
+  metrics * Persistency.Persist_graph.t * Kv.layout
+(** Same, with [record_graph] forced on — use small runs. *)
+
+val kv_params :
+  ?threads:int ->
+  ?total_ops:int ->
+  ?get_every:int ->
+  ?groups:int ->
+  ?group_size:int ->
+  ?load:float ->
+  ?seed:int ->
+  Persistency.Config.mode ->
+  Kv.params
+(** Experiment defaults: 1 thread, 4096 ops total, a get every 4th op,
+    a 16x8 table at 50% load, seeded random scheduling.
+    @raise Invalid_argument unless [total_ops] divides by [threads]. *)
+
+val default_total_ops : int
+
+type cell = {
+  model : string;
+  threads : int;
+  load : float;
+  key_space : int;
+  cp_per_put : float;
+  cp_per_op : float;
+  probes_per_op : float;
+  critical_path : int;
+}
+
+type t = {
+  total_ops : int;
+  cells : cell list;
+  profile : Parallel.Pool.profile;
+}
+
+val kv_models : Run.model_point list
+(** Strict, Epoch, Strand. *)
+
+val run :
+  ?jobs:int ->
+  ?total_ops:int ->
+  ?threads_list:int list ->
+  ?loads:float list ->
+  ?seed:int ->
+  unit ->
+  t
+(** Sweep threads × loads × models; one {!cell} each.  Defaults:
+    threads 1, 2 and 4, loads 25% and 50%, sequential ([jobs = 1]);
+    results are identical for any [jobs]. *)
+
+val cell : t -> string -> int -> float -> cell option
+val render : t -> string
+val to_csv : t -> string

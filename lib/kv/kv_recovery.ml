@@ -1,0 +1,171 @@
+type recovered = {
+  bindings : (int * int64) list;
+  sealed : int;
+  rolled_back : int;
+}
+
+(* A sealed undo record, paired with the (key, value) its writer went
+   on to store — re-derived from the deterministic put schedule. *)
+type record = {
+  old_key : int64;
+  old_value : int64;
+  put_value : int64;
+}
+
+let get64 = Bytes.get_int64_le
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun msg -> raise (Bad msg)) fmt
+
+(* Thread [tid]'s puts in log order: position i of thread tid's log
+   region was written by puts.(tid).(i). *)
+let put_schedule (params : Kv.params) =
+  Array.init params.threads (fun tid ->
+      let acc = ref [] in
+      for seq = params.ops_per_thread - 1 downto 0 do
+        match Kv.op_of params ~tid ~seq with
+        | Kv.Put { key; value } -> acc := (key, value) :: !acc
+        | Kv.Get _ -> ()
+      done;
+      Array.of_list !acc)
+
+(* Scan the logs.  Every record position is judged independently: the
+   seal word is 0 (record ignored) or the one-based position (record
+   sealed, fields must be intact).  Strand runs legitimately seal out
+   of order, so unlike the queue checker we never stop at a hole. *)
+let scan_logs ~(params : Kv.params) ~(layout : Kv.layout) ~kgroups ~written
+    image =
+  let puts = put_schedule params in
+  let slots = layout.groups * layout.group_size in
+  let by_slot = Array.make slots [] in
+  let sealed = ref 0 in
+  for tid = 0 to params.threads - 1 do
+    for pos = 0 to Array.length puts.(tid) - 1 do
+      let off =
+        layout.log_addr + (((tid * layout.log_capacity) + pos) * Kv.rec_bytes)
+      in
+      let seal = Int64.to_int (get64 image (off + 32)) in
+      if seal <> 0 then begin
+        if seal <> pos + 1 then
+          bad "log record %d.%d: seal word %d, expected %d or 0 — torn seal"
+            tid pos seal (pos + 1);
+        let slot = Int64.to_int (get64 image off) in
+        let old_key = get64 image (off + 8) in
+        let old_value = get64 image (off + 16) in
+        let old_sum = get64 image (off + 24) in
+        let put_key, put_value = puts.(tid).(pos) in
+        if slot < 0 || slot >= slots then
+          bad "log record %d.%d: sealed but slot index %d out of range — \
+               torn record"
+            tid pos slot;
+        if slot / layout.group_size <> kgroups.(put_key - 1) then
+          bad "log record %d.%d: sealed but slot %d is outside key %d's \
+               group %d"
+            tid pos slot put_key
+            kgroups.(put_key - 1);
+        if Int64.equal old_key 0L then begin
+          if not (Int64.equal old_value 0L && Int64.equal old_sum 0L) then
+            bad "log record %d.%d: sealed first-claim record with non-zero \
+                 old value/sum — torn record"
+              tid pos
+        end
+        else begin
+          if Int64.to_int old_key <> put_key then
+            bad "log record %d.%d: saved key %Ld but the put wrote key %d"
+              tid pos old_key put_key;
+          if not (Int64.equal old_sum (Kv.slot_sum ~key:old_key ~value:old_value))
+          then
+            bad "log record %d.%d: sealed but saved triple fails its \
+                 checksum — torn record"
+              tid pos;
+          if not (Hashtbl.mem written (put_key, old_value)) then
+            bad "log record %d.%d: saved value %Ld was never written to key \
+                 %d"
+              tid pos old_value put_key
+        end;
+        incr sealed;
+        by_slot.(slot) <- { old_key; old_value; put_value } :: by_slot.(slot)
+      end
+    done
+  done;
+  (by_slot, !sealed)
+
+(* The slot's undo chain links records by value: record r supersedes
+   record r' when r.old_value is what r''s writer stored.  The record
+   to apply is the chain's last sealed one — the unique sealed record
+   whose own stored value no sealed record saves as "old". *)
+let rollback_record recs =
+  match
+    List.filter
+      (fun r ->
+        not (List.exists (fun r' -> Int64.equal r'.old_value r.put_value) recs))
+      recs
+  with
+  | [] -> None
+  | [ r ] -> Some r
+  | _ :: _ :: _ -> bad "ambiguous undo chain — two unsuperseded sealed records"
+
+let recover ~(params : Kv.params) ~(layout : Kv.layout) image =
+  let kgroups = Kv.key_groups params in
+  let written = Hashtbl.create 64 in
+  List.iter (fun kv -> Hashtbl.replace written kv ()) (Kv.written params);
+  try
+    let by_slot, sealed = scan_logs ~params ~layout ~kgroups ~written image in
+    let bindings = ref [] in
+    let rolled_back = ref 0 in
+    for s = 0 to (layout.groups * layout.group_size) - 1 do
+      let off = layout.table_addr + (s * Kv.slot_bytes) in
+      let k = get64 image off in
+      let v = get64 image (off + 8) in
+      let sum = get64 image (off + 16) in
+      let ki = Int64.to_int k in
+      let valid =
+        ki >= 1 && ki <= params.key_space
+        && Int64.equal sum (Kv.slot_sum ~key:k ~value:v)
+        && Hashtbl.mem written (ki, v)
+        && kgroups.(ki - 1) = s / layout.group_size
+      in
+      if valid then bindings := (ki, v) :: !bindings
+      else if Int64.equal k 0L && Int64.equal v 0L && Int64.equal sum 0L then ()
+      else begin
+        match rollback_record by_slot.(s) with
+        | None ->
+          bad "torn slot %d (key=%Ld value=%Ld sum=%Ld) with no sealed undo \
+               record"
+            s k v sum
+        | Some r ->
+          incr rolled_back;
+          if not (Int64.equal r.old_key 0L) then
+            bindings := (Int64.to_int r.old_key, r.old_value) :: !bindings
+      end
+    done;
+    let sorted = List.sort compare !bindings in
+    let rec first_dup = function
+      | (k1, _) :: ((k2, _) :: _ as rest) ->
+        if k1 = k2 then Some k1 else first_dup rest
+      | _ -> None
+    in
+    (match first_dup sorted with
+    | Some k -> bad "key %d recovered in two slots" k
+    | None -> ());
+    Ok { bindings = sorted; sealed; rolled_back = !rolled_back }
+  with Bad msg -> Error msg
+
+let check ~params ~layout image =
+  match recover ~params ~layout image with
+  | Ok _ -> Ok ()
+  | Error msg -> Error msg
+
+let checker ~params ~layout = fun image -> check ~params ~layout image
+
+let image_capacity (layout : Kv.layout) =
+  max
+    (layout.table_addr + layout.table_bytes)
+    (layout.log_addr + layout.log_bytes)
+
+let verify ~params ~layout ~graph ~strategy =
+  Recovery.check ~graph
+    ~capacity:(image_capacity layout)
+    ~strategy
+    (checker ~params ~layout)

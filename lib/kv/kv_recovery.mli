@@ -1,0 +1,57 @@
+(** Recovery procedure and invariant checker for the KV store.
+
+    Given a post-crash persistent memory image (from
+    {!Persistency.Observer} via {!Recovery}), [recover] replays the
+    store's recovery rule and [check] validates the result:
+
+    - every undo-log record is either unsealed (ignored) or sealed with
+      intact, legal fields: the slot index belongs to the group its
+      key hashes to, and the saved previous triple is zero (first claim
+      of the slot) or a checksummed (key, value) pair some put actually
+      wrote;
+    - every table slot is empty, valid (checksum matches a written
+      pair, placed in the right group), or torn — in which case a
+      sealed, unsuperseded undo record for that slot must exist, and
+      rolling the slot back to its saved triple must yield a consistent
+      state;
+    - after rollback, no key is bound twice.
+
+    The put schedule is a pure function of {!Kv.params}
+    ({!Kv.op_of}), so the checker re-derives each log record's writer
+    — and therefore the full undo chain of every slot — from the
+    parameters alone; nothing needs to survive the crash but the image.
+
+    Records sealed out of order are expected under strand persistency:
+    [NewStrand] severs the thread-order persist dependence between
+    consecutive operations, so a later record's seal may be durable
+    while an earlier one's is not.  Recovery therefore treats every
+    record position independently rather than stopping at the first
+    unsealed record (contrast {!Workloads.Queue_recovery}). *)
+
+type recovered = {
+  bindings : (int * int64) list;
+      (** key -> value after recovery, sorted by key *)
+  sealed : int;  (** sealed undo records in the image *)
+  rolled_back : int;  (** torn slots restored from the log *)
+}
+
+val recover :
+  params:Kv.params -> layout:Kv.layout -> bytes -> (recovered, string) result
+
+val check :
+  params:Kv.params -> layout:Kv.layout -> bytes -> (unit, string) result
+
+val checker : params:Kv.params -> layout:Kv.layout -> Recovery.observer
+(** [check] partially applied, shaped for {!Recovery.check}. *)
+
+val image_capacity : Kv.layout -> int
+(** Bytes of persistent address space the image must cover. *)
+
+val verify :
+  params:Kv.params ->
+  layout:Kv.layout ->
+  graph:Persistency.Persist_graph.t ->
+  strategy:Recovery.strategy ->
+  (Recovery.report, Recovery.failure) result
+(** Failure-inject this run: {!Recovery.check} with {!checker} as the
+    observer. *)

@@ -1,0 +1,103 @@
+module P = Persistency
+module Om = Obs.Metrics
+
+let m_checks = Om.counter Om.default "recovery.checks"
+let m_prefixes = Om.counter Om.default "recovery.prefixes"
+let m_violations = Om.counter Om.default "recovery.violations"
+
+let prefix_buckets = Om.pow2_buckets 13
+
+let m_prefix_size =
+  Om.histogram Om.default ~buckets:prefix_buckets "recovery.prefix_size"
+
+type observer = bytes -> (unit, string) result
+
+type strategy =
+  | Sampled of { samples : int; seed : int }
+  | Exhaustive
+
+type failure = {
+  durable : int;
+  total : int;
+  prefixes_ok : int;
+  message : string;
+}
+
+type report = {
+  prefixes : int;
+  nodes : int;
+}
+
+let render_failure f =
+  Printf.sprintf "crash state with %d/%d persists durable: %s" f.durable
+    f.total f.message
+
+let strategy_name = function
+  | Sampled _ -> "sampled"
+  | Exhaustive -> "exhaustive"
+
+(* Span argument strings are only built when tracing is on. *)
+let traced ~strategy ~graph f =
+  if Obs.Tracer.enabled () then
+    Obs.Tracer.with_span ~cat:"recovery"
+      ~args:
+        [ ("strategy", strategy_name strategy);
+          ("nodes", string_of_int (P.Persist_graph.node_count graph)) ]
+      "recovery.check" f
+  else f ()
+
+(* Walk the prefixes the strategy yields, checking each one.  The two
+   strategies share the per-prefix body so accounting and failure
+   reporting cannot drift. *)
+let check ~graph ~capacity ~strategy observer =
+  traced ~strategy ~graph @@ fun () ->
+  Om.incr m_checks;
+  let total = P.Persist_graph.node_count graph in
+  let checked = ref 0 in
+  let try_prefix cut =
+    let image = P.Observer.image_of_cut graph cut ~capacity in
+    Om.incr m_prefixes;
+    Om.observe m_prefix_size (float_of_int (P.Iset.cardinal cut));
+    match observer image with
+    | Ok () ->
+      incr checked;
+      Ok ()
+    | Error message ->
+      Om.incr m_violations;
+      Error
+        { durable = P.Iset.cardinal cut;
+          total;
+          prefixes_ok = !checked;
+          message }
+  in
+  let rec first_error = function
+    | [] -> Ok ()
+    | cut :: rest -> (
+      match try_prefix cut with
+      | Ok () -> first_error rest
+      | Error _ as e -> e)
+  in
+  let result =
+    match strategy with
+    | Exhaustive ->
+      first_error (P.Observer.all_cuts graph)
+    | Sampled { samples; seed } ->
+      let rng = Random.State.make [| seed |] in
+      let dag = P.Persist_graph.to_dag graph in
+      let rec loop i =
+        if i >= samples then Ok ()
+        else
+          match try_prefix (P.Dag.random_down_closed dag rng) with
+          | Ok () -> loop (i + 1)
+          | Error _ as e -> e
+      in
+      loop 0
+  in
+  match result with
+  | Ok () -> Ok { prefixes = !checked; nodes = total }
+  | Error f -> Error f
+
+let check_invariant ~graph ~capacity ~strategy observer =
+  match check ~graph ~capacity ~strategy observer with
+  | Ok _ -> Ok ()
+  | Error f -> Error (render_failure f)

@@ -1,0 +1,64 @@
+(** Workload-agnostic recovery checking (failure injection).
+
+    The persist dependence graph of a run defines exactly which crash
+    states are possible: the durable prefixes — down-closed sets of
+    atomic persists (see {!Persistency.Observer}).  This subsystem
+    enumerates or samples those prefixes, materializes each one as a
+    post-crash persistent memory image, runs a workload-supplied
+    recovery {e observer} on it, and reports the first unrecoverable
+    prefix.
+
+    Workloads (the queues, the KV store, examples) supply only the
+    observer — the image decoder plus invariant check — and get the
+    whole failure-injection pipeline: prefix generation, legality,
+    image construction, accounting, obs spans and counters. *)
+
+type observer = bytes -> (unit, string) result
+(** Recovery procedure + invariant check over one post-crash image.
+    [Error] describes why the image is unrecoverable. *)
+
+(** How to walk the space of durable prefixes. *)
+type strategy =
+  | Sampled of { samples : int; seed : int }
+      (** Random legal prefixes (every prefix has non-zero
+          probability); the only option for large graphs. *)
+  | Exhaustive
+      (** Every durable prefix.  Small graphs only:
+          @raise Invalid_argument above 24 nodes (see
+          {!Persistency.Dag.all_down_closed}). *)
+
+type failure = {
+  durable : int;  (** persists durable in the failing prefix *)
+  total : int;  (** atomic persists in the graph *)
+  prefixes_ok : int;  (** prefixes that recovered before this one *)
+  message : string;  (** the observer's diagnosis *)
+}
+
+type report = {
+  prefixes : int;  (** durable prefixes checked *)
+  nodes : int;  (** atomic persists in the graph *)
+}
+
+val check :
+  graph:Persistency.Persist_graph.t ->
+  capacity:int ->
+  strategy:strategy ->
+  observer ->
+  (report, failure) result
+(** Run [observer] against every durable prefix the strategy produces
+    ([capacity] sizes the persistent image, as in
+    {!Persistency.Observer.image_of_cut}).  Stops at the first
+    unrecoverable prefix. *)
+
+val check_invariant :
+  graph:Persistency.Persist_graph.t ->
+  capacity:int ->
+  strategy:strategy ->
+  observer ->
+  (unit, string) result
+(** {!check} with the failure rendered as a one-line message — the
+    shape of {!Persistency.Observer.check_cut_invariant}, for call
+    sites that only need pass/fail. *)
+
+val render_failure : failure -> string
+(** ["crash state with N/M persists durable: ..."]. *)

@@ -119,6 +119,57 @@ let fuzz_config ~name ~count mk_cfg =
     | Error msg -> fail_with_trace ~name ~seed events "oracle: %s" msg)
   done
 
+(* KV campaign: instead of random event soup, traces come from the KV
+   store workload — structured probe/log/store patterns with locks and
+   per-operation strands — and the engine must still agree with the
+   oracle on the critical path (coalescing off) and pass the full
+   verification (coalescing on). *)
+let gen_kv_params rng mode =
+  let discipline =
+    if mode = P.Config.Epoch && Random.State.int rng 4 = 0 then Kv.Buggy_undo
+    else Kv.discipline_for mode
+  in
+  let groups = 2 + Random.State.int rng 3 in
+  let group_size = 2 + Random.State.int rng 3 in
+  { Kv.discipline;
+    threads = 1 + Random.State.int rng 3;
+    ops_per_thread = 4 + Random.State.int rng 6;
+    get_every = [| 0; 0; 2; 3; 4 |].(Random.State.int rng 5);
+    key_space = 1 + Random.State.int rng (groups * group_size);
+    groups;
+    group_size;
+    seed = Random.State.int rng 10_000;
+    policy = Memsim.Machine.Random (Random.State.int rng 10_000) }
+
+let fuzz_kv ~name ~count mode =
+  for seed = 1 to count do
+    traced ~name ~seed @@ fun () ->
+    let rng = Random.State.make [| 0x517cc1b7; seed |] in
+    let params = gen_kv_params rng mode in
+    let trace = Memsim.Trace.create () in
+    let _ = Kv.run params ~sink:(Memsim.Trace.sink trace) in
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          Alcotest.failf "%s (seed %d, %s): %s" name seed
+            (Format.asprintf "%a" Kv.pp_params params)
+            msg)
+        fmt
+    in
+    let cfg = P.Config.make mode in
+    let cfg_nc = { cfg with P.Config.coalescing = false } in
+    let engine = P.Engine.create cfg_nc in
+    P.Engine.observe_trace engine trace;
+    let ecp = P.Engine.critical_path engine in
+    let ocp = P.Oracle.critical_path (P.Oracle.build cfg_nc trace) in
+    if ecp <> ocp then
+      fail "critical path mismatch (no coalescing): engine %d, oracle %d" ecp
+        ocp;
+    match P.Oracle.verify_engine cfg trace with
+    | Ok () -> ()
+    | Error msg -> fail "oracle: %s" msg
+  done
+
 type campaign = {
   c_name : string;
   count : int;
@@ -175,6 +226,8 @@ let test_all_campaigns () =
    these are cheap enough sequentially at the default scale. *)
 let test_one c () = fuzz_config ~name:c.c_name ~count:c.count c.mk_cfg
 
+let kv_traces = max 1 (traces_per_model / 4)
+
 let () =
   Obs.Setup.from_env ();
   Alcotest.run "fuzz"
@@ -188,4 +241,13 @@ let () =
                Alcotest.test_case
                  (Printf.sprintf "%s (%d traces)" c.c_name c.count)
                  `Quick (test_one c))
-             campaigns ) ]
+             campaigns ) ;
+      ( "kv-differential",
+        List.map
+          (fun mode ->
+            let name = "kv/" ^ P.Config.mode_name mode in
+            Alcotest.test_case
+              (Printf.sprintf "%s (%d traces)" name kv_traces)
+              `Quick
+              (fun () -> fuzz_kv ~name ~count:kv_traces mode))
+          P.Config.all_modes ) ]

@@ -161,6 +161,49 @@ let test_metrics_dump_matches_engine () =
   (* the workload layer registered too *)
   check "workload.queue.inserts" inserts
 
+let test_kv_and_recovery_metrics () =
+  M.reset M.default;
+  let params =
+    Experiments.Kv_exp.kv_params ~threads:2 ~total_ops:16 P.Config.Epoch
+  in
+  (* disabled: the instrumented run must leave the registry untouched *)
+  let disabled_run = Kv.run params ~sink:ignore in
+  let counter name = M.counter_value (M.counter M.default name) in
+  Alcotest.(check int) "disabled: puts untouched" 0 (counter "workload.kv.puts");
+  Alcotest.(check int) "disabled: probes untouched" 0
+    (counter "workload.kv.probes");
+  (* enabled: one analyzed run plus one sampled recovery check *)
+  M.set_enabled M.default true;
+  Fun.protect
+    ~finally:(fun () -> M.set_enabled M.default false)
+    (fun () ->
+      let _, graph, layout =
+        Experiments.Kv_exp.analyze_with_graph params
+          (P.Config.make P.Config.Epoch)
+      in
+      (match
+         Kv_recovery.verify ~params ~layout ~graph
+           ~strategy:(Recovery.Sampled { samples = 20; seed = 1 })
+       with
+      | Ok _ -> ()
+      | Error f -> Alcotest.fail (Recovery.render_failure f));
+      Alcotest.(check int) "puts counted" disabled_run.Kv.puts
+        (counter "workload.kv.puts");
+      Alcotest.(check int) "gets counted" disabled_run.Kv.gets
+        (counter "workload.kv.gets");
+      Alcotest.(check int) "probes counted" disabled_run.Kv.probes
+        (counter "workload.kv.probes");
+      Alcotest.(check int) "one log append per put" disabled_run.Kv.puts
+        (counter "workload.kv.log_appends");
+      Alcotest.(check int) "one recovery check" 1 (counter "recovery.checks");
+      Alcotest.(check int) "every sampled prefix counted" 20
+        (counter "recovery.prefixes");
+      Alcotest.(check int) "no violations" 0 (counter "recovery.violations");
+      let dump = parse (J.to_string (M.to_json M.default)) in
+      match J.to_float (member "count" (find_metric dump "workload.kv.probe_len")) with
+      | Some c when c > 0. -> ()
+      | _ -> Alcotest.fail "workload.kv.probe_len has no observations")
+
 (* Tracer *)
 
 let test_trace_json_balanced () =
@@ -348,6 +391,8 @@ let () =
           Alcotest.test_case "disabled is a no-op" `Quick
             test_disabled_is_noop;
           Alcotest.test_case "pow2 buckets" `Quick test_pow2_buckets;
+          Alcotest.test_case "kv and recovery instruments" `Quick
+            test_kv_and_recovery_metrics;
           Alcotest.test_case "dump matches engine accessors" `Quick
             test_metrics_dump_matches_engine ] );
       ( "tracer",

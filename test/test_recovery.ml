@@ -35,10 +35,40 @@ let sampled_check ~design ~annotation ~mode ~seed =
   let params, layout, graph =
     run_and_graph ~design ~annotation ~mode ~threads:2 ~inserts:8 ~seed
   in
-  P.Observer.check_cut_invariant graph
-    (Workloads.Queue_recovery.checker ~params ~layout)
-    ~capacity:(layout.Q.data_addr + layout.Q.data_bytes)
-    ~samples:300 ~seed
+  match
+    Workloads.Queue_recovery.verify ~params ~layout ~graph
+      ~strategy:(Recovery.Sampled { samples = 300; seed })
+  with
+  | Ok _ -> Ok ()
+  | Error f -> Error (Recovery.render_failure f)
+
+(* The shared Recovery subsystem draws the same cut sequence as the
+   legacy observer entry point (same rng seeding, same generator), so
+   porting the checker must not change any verdict. *)
+let test_verify_matches_legacy () =
+  List.iter
+    (fun annotation ->
+      let params, layout, graph =
+        run_and_graph ~design:Q.Cwl ~annotation ~mode:P.Config.Epoch
+          ~threads:2 ~inserts:6 ~seed:9
+      in
+      let capacity = Workloads.Queue_recovery.image_capacity layout in
+      let legacy =
+        P.Observer.check_cut_invariant graph
+          (Workloads.Queue_recovery.checker ~params ~layout)
+          ~capacity ~samples:200 ~seed:9
+      in
+      let ported =
+        match
+          Workloads.Queue_recovery.verify ~params ~layout ~graph
+            ~strategy:(Recovery.Sampled { samples = 200; seed = 9 })
+        with
+        | Ok _ -> Ok ()
+        | Error f -> Error (Recovery.render_failure f)
+      in
+      Alcotest.(check (result unit string))
+        "identical verdict and rendering" legacy ported)
+    [ Q.Epoch; Q.Buggy_epoch ]
 
 let test_all_models_recover design () =
   List.iter
@@ -177,13 +207,11 @@ let recovery_property =
       let layout = result.Q.layout in
       let graph = Option.get (P.Engine.graph engine) in
       match
-        P.Observer.check_cut_invariant graph
-          (Workloads.Queue_recovery.checker ~params ~layout)
-          ~capacity:(layout.Q.data_addr + layout.Q.data_bytes)
-          ~samples:100 ~seed
+        Workloads.Queue_recovery.verify ~params ~layout ~graph
+          ~strategy:(Recovery.Sampled { samples = 100; seed })
       with
-      | Ok () -> true
-      | Error msg -> QCheck.Test.fail_report msg)
+      | Ok _ -> true
+      | Error f -> QCheck.Test.fail_report (Recovery.render_failure f))
 
 let () =
   Alcotest.run "recovery"
@@ -203,5 +231,7 @@ let () =
           Alcotest.test_case "strict tolerates missing barriers" `Quick
             test_strict_unannotated_buggy_still_safe;
           Alcotest.test_case "empty cut" `Quick test_empty_cut_recovers_empty;
+          Alcotest.test_case "Recovery.check matches legacy observer" `Quick
+            test_verify_matches_legacy;
           QCheck_alcotest.to_alcotest recovery_property
         ] ) ]
