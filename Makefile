@@ -2,7 +2,7 @@
 # the parallel sweeps and the fuzzer; see README "Running the
 # evaluation in parallel".
 
-.PHONY: all build test bench bench-quick fuzz fmt-check smoke ci clean
+.PHONY: all build test bench bench-quick fuzz fmt-check smoke explore ci clean
 
 all: build
 
@@ -41,8 +41,16 @@ smoke: build
 	dune exec bin/persistsim.exe -- kv --inserts 100 > /dev/null
 	dune exec bin/persistsim.exe -- kv --recovery --samples 100 > /dev/null
 
+# DPOR exploration smoke: the queue sweep against the brute-force
+# oracle (same graph census, far fewer schedules), and the buggy KV
+# discipline must be flagged with a replayable counter-example.
+explore: build
+	dune exec bin/persistsim.exe -- explore --workload queue --depth 2 --oracle --csv
+	dune exec bin/persistsim.exe -- explore --workload kv --model strand --depth 2 --jobs 2 > /dev/null
+	dune exec bin/persistsim.exe -- explore --workload kv --buggy --depth 2 | grep -q "RECOVERY VIOLATION"
+
 # What .github/workflows/ci.yml runs.
-ci: fmt-check build test smoke
+ci: fmt-check build test smoke explore
 
 clean:
 	dune clean

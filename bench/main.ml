@@ -252,13 +252,39 @@ let bench_txn_commit =
                 done));
          Memsim.Machine.run machine))
 
+(* The same 2-thread x 2-insert queue explored by DPOR and by
+   brute-force DFS — the schedule-count gap (28 vs 5,918 executions)
+   is the whole point of lib/check. *)
+let explore_run policy =
+  let params =
+    Workloads.Queue.explore_params ~threads:2 ~depth:2 Workloads.Queue.Epoch
+  in
+  ignore
+    (Workloads.Queue.run
+       { params with Workloads.Queue.policy }
+       ~sink:ignore)
+
+let bench_explore_dpor =
+  Test.make ~name:"explore:dpor-cwl-d2"
+    (Staged.stage (fun () ->
+         ignore
+           (Check.Dpor.explore
+              ~on_exec:(fun _ () -> Check.Dpor.Continue)
+              explore_run)))
+
+let bench_explore_brute =
+  Test.make ~name:"explore:brute-cwl-d2"
+    (Staged.stage (fun () ->
+         ignore (Memsim.Explore.run_all ~limit:100_000 explore_run)))
+
 let tests =
   [ bench_table1; bench_fig3; bench_fig4; bench_fig5; bench_trace_generation;
     bench_engine Persistency.Config.Strict;
     bench_engine Persistency.Config.Epoch;
     bench_engine Persistency.Config.Strand;
     bench_recovery_sampling; bench_kv_store; bench_kv_recovery; bench_drain;
-    bench_epoch_hw; bench_txn_commit ]
+    bench_epoch_hw; bench_txn_commit; bench_explore_dpor;
+    bench_explore_brute ]
 
 let run_benchmarks () =
   banner "MICROBENCHMARKS (Bechamel, monotonic clock)";

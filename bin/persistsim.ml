@@ -606,6 +606,191 @@ let calibrate_cmd =
        ~doc:"Measure this machine's native volatile-queue insert rate.")
     Term.(const run $ obs_t $ const ())
 
+(* explore *)
+
+let explore_cmd =
+  let exhaustive_limit = 20 in
+  (* The reproducer line re-runs exactly one failing schedule with the
+     same sampling seed — paste it verbatim to replay a CI
+     counter-example locally. *)
+  let reproducer ~workload ~model_label ~buggy ~threads ~depth ~samples ~seed
+      sched =
+    Printf.sprintf
+      "persistsim explore --workload %s --model %s%s --threads %d --depth %d \
+       --samples %d --seed %d --replay %s"
+      workload model_label
+      (if buggy then " --buggy" else "")
+      threads depth samples seed
+      (Check.Schedule.to_string sched)
+  in
+  let run () workload (model : Experiments.Run.model_point) buggy threads
+      depth jobs max_schedules samples seed oracle replay csv =
+    let instance_of, label =
+      match workload with
+      | `Queue ->
+        let annotation =
+          if buggy then Workloads.Queue.Buggy_epoch else model.annotation
+        in
+        let params = Workloads.Queue.explore_params ~threads ~depth annotation in
+        let params = { params with Workloads.Queue.seed } in
+        let cfg = Persistency.Config.make model.mode in
+        ( Check.Driver.queue_instance params cfg,
+          Workloads.Queue.annotation_name annotation )
+      | `Kv ->
+        let discipline =
+          if buggy then Kv.Buggy_undo else Kv.discipline_for model.mode
+        in
+        let params = Kv.explore_params ~threads ~depth discipline in
+        let params = { params with Kv.seed } in
+        let cfg = Persistency.Config.make model.mode in
+        (Check.Driver.kv_instance params cfg, Kv.discipline_name discipline)
+    in
+    let workload_name = match workload with `Queue -> "queue" | `Kv -> "kv" in
+    let strategy = Recovery.auto ~exhaustive_limit ~samples ~seed in
+    match replay with
+    | Some sched_str ->
+      let sched = Check.Schedule.of_string sched_str in
+      (match Check.Driver.check_schedule ~strategy sched instance_of with
+      | Ok r ->
+        Printf.printf
+          "replayed schedule (%d decisions): recovery holds in all %d \
+           durable prefixes of %d persists\n"
+          (Check.Schedule.length sched) r.Recovery.prefixes r.Recovery.nodes
+      | Error f ->
+        Printf.printf "RECOVERY VIOLATION on replayed schedule: %s\n"
+          (Recovery.render_failure f);
+        if not buggy then exit 1)
+    | None ->
+      let report =
+        Check.Driver.check ~max_schedules ~jobs ~strategy instance_of
+      in
+      let brute =
+        if not oracle then None
+        else begin
+          (* brute-force DFS as the oracle: every interleaving, same
+             distinct-graph census *)
+          let fps = Hashtbl.create 64 in
+          let o =
+            Memsim.Explore.run_all ~limit:max_schedules (fun policy ->
+                let inst = instance_of policy in
+                Hashtbl.replace fps
+                  (Persistency.Graph_export.fingerprint
+                     inst.Check.Driver.graph)
+                  ())
+          in
+          Some (o, Hashtbl.length fps)
+        end
+      in
+      let verdict =
+        match report.failure with Some _ -> "violated" | None -> "safe"
+      in
+      if csv then begin
+        print_string
+          "workload,discipline,model,threads,depth,schedules,sleep_skips,\
+           sleep_aborts,steps,complete,distinct_graphs,recovery_checks,\
+           prefixes,verdict,brute_traces,brute_graphs\n";
+        Printf.printf "%s,%s,%s,%d,%d,%d,%d,%d,%d,%b,%d,%d,%d,%s,%s,%s\n"
+          workload_name label model.label threads depth report.stats.schedules
+          report.stats.sleep_skips report.stats.sleep_aborts
+          report.stats.steps report.stats.complete report.distinct
+          report.checked report.prefixes verdict
+          (match brute with
+          | Some (o, _) -> string_of_int o.Memsim.Explore.traces
+          | None -> "")
+          (match brute with Some (_, g) -> string_of_int g | None -> "")
+      end
+      else begin
+        Printf.printf
+          "explore %s / %s / %s: %d threads x %d ops\n\
+          \  schedules executed    %d%s\n\
+          \  redundant runs pruned %d aborted, %d skipped before starting\n\
+          \  scheduling decisions  %d\n\
+          \  distinct persist graphs %d (%d recovery-checked, %d durable \
+           prefixes)\n"
+          workload_name label model.label threads depth
+          report.stats.schedules
+          (if report.stats.complete then " (complete)" else " (budget hit)")
+          report.stats.sleep_aborts report.stats.sleep_skips
+          report.stats.steps report.distinct report.checked report.prefixes;
+        match brute with
+        | Some (o, g) ->
+          Printf.printf
+            "  brute-force oracle    %d traces%s, %d distinct graphs\n"
+            o.Memsim.Explore.traces
+            (if o.Memsim.Explore.complete then "" else " (limit hit)")
+            g
+        | None -> ()
+      end;
+      (match report.failure with
+      | None -> ()
+      | Some (sched, f) ->
+        Printf.printf "RECOVERY VIOLATION: %s\nreproduce with:\n  %s\n"
+          (Recovery.render_failure f)
+          (reproducer ~workload:workload_name ~model_label:model.label ~buggy
+             ~threads ~depth ~samples ~seed sched));
+      if report.failure <> None && not buggy then exit 1
+  in
+  let workload_t =
+    let doc = "Workload to explore: $(b,queue) (CWL) or $(b,kv)." in
+    Arg.(value
+         & opt (enum [ ("queue", `Queue); ("kv", `Kv) ]) `Queue
+         & info [ "workload" ] ~docv:"W" ~doc)
+  in
+  let buggy_t =
+    Arg.(value & flag
+         & info [ "buggy" ]
+             ~doc:"Drop the recovery-critical barrier (queue: data->head; \
+                   kv: seal->slot) so the explorer can demonstrate the \
+                   resulting violation.")
+  in
+  let depth_t =
+    Arg.(value & opt int 2
+         & info [ "depth" ] ~docv:"N" ~doc:"Operations per thread.")
+  in
+  let max_schedules_t =
+    Arg.(value & opt int 100_000
+         & info [ "max-schedules" ] ~docv:"N"
+             ~doc:"Schedule budget; exceeding it reports an incomplete \
+                   exploration.")
+  in
+  let samples_t =
+    Arg.(value & opt int 64
+         & info [ "samples" ] ~docv:"N"
+             ~doc:(Printf.sprintf
+                     "Crash states sampled per distinct persist graph larger \
+                      than %d nodes (smaller graphs are checked \
+                      exhaustively)."
+                     exhaustive_limit))
+  in
+  let seed_t =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Workload and crash-state sampling seed; stamped into \
+                   reproducer lines.")
+  in
+  let oracle_t =
+    Arg.(value & flag
+         & info [ "oracle" ]
+             ~doc:"Also run the brute-force interleaving enumeration \
+                   (Memsim.Explore) and print its trace and distinct-graph \
+                   counts next to DPOR's.")
+  in
+  let replay_t =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"SCHEDULE"
+             ~doc:"Re-execute one schedule (comma-separated decision \
+                   indices, as printed in a reproducer line) instead of \
+                   exploring, and failure-inject just that run.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Systematically explore scheduler interleavings with dynamic \
+             partial-order reduction, failure-injecting recovery on every \
+             distinct persist graph.")
+    Term.(const run $ obs_t $ workload_t $ model_t $ buggy_t $ threads_t 2
+          $ depth_t $ jobs_t $ max_schedules_t $ samples_t $ seed_t
+          $ oracle_t $ replay_t $ csv_t)
+
 let main =
   let doc =
     "reproduction of 'Memory Persistency' (ISCA 2014): persistency models, \
@@ -615,6 +800,6 @@ let main =
     (Cmd.info "persistsim" ~version:"1.0.0" ~doc)
     [ table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; validate_cmd; recovery_cmd;
       kv_cmd; trace_cmd; analyze_cmd; graph_cmd; ablation_cmd; calibrate_cmd;
-      cache_cmd; wear_cmd; consistency_cmd ]
+      cache_cmd; wear_cmd; consistency_cmd; explore_cmd ]
 
 let () = exit (Cmd.eval main)

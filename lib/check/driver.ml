@@ -1,0 +1,99 @@
+module M = Memsim.Machine
+module Ps = Persistency
+module Om = Obs.Metrics
+
+let m_distinct = Om.counter Om.default "check.distinct_graphs"
+let m_duplicates = Om.counter Om.default "check.duplicate_graphs"
+
+type instance = {
+  graph : Ps.Persist_graph.t;
+  capacity : int;
+  observer : Recovery.observer;
+}
+
+type report = {
+  stats : Dpor.stats;
+  distinct : int;
+  checked : int;
+  prefixes : int;
+  failure : (Schedule.t * Recovery.failure) option;
+}
+
+let check ?gran ?max_schedules ?(jobs = 1) ?(stop_on_failure = true) ~strategy
+    run =
+  let mu = Mutex.create () in
+  let seen = Hashtbl.create 64 in
+  let checked = ref 0 in
+  let prefixes = ref 0 in
+  let failure = ref None in
+  (* Called from worker domains under [explore_par]: the fingerprint
+     set and accounting are mutex-protected; the recovery check itself
+     runs outside the lock (each instance is worker-private). *)
+  let on_exec sched inst =
+    let fp = Ps.Graph_export.fingerprint inst.graph in
+    let fresh =
+      Mutex.protect mu (fun () ->
+          if Hashtbl.mem seen fp then false
+          else begin
+            Hashtbl.add seen fp ();
+            true
+          end)
+    in
+    if not fresh then begin
+      Om.incr m_duplicates;
+      Dpor.Continue
+    end
+    else begin
+      Om.incr m_distinct;
+      let verdict =
+        Recovery.check ~graph:inst.graph ~capacity:inst.capacity
+          ~strategy:(strategy inst.graph) inst.observer
+      in
+      Mutex.protect mu (fun () ->
+          incr checked;
+          match verdict with
+          | Ok r ->
+            prefixes := !prefixes + r.Recovery.prefixes;
+            Dpor.Continue
+          | Error f ->
+            prefixes := !prefixes + f.Recovery.prefixes_ok + 1;
+            if !failure = None then failure := Some (sched, f);
+            if stop_on_failure then Dpor.Stop else Dpor.Continue)
+    end
+  in
+  let stats =
+    if jobs > 1 then Dpor.explore_par ?gran ?max_schedules ~jobs ~on_exec run
+    else Dpor.explore ?gran ?max_schedules ~on_exec run
+  in
+  { stats;
+    distinct = Hashtbl.length seen;
+    checked = !checked;
+    prefixes = !prefixes;
+    failure = !failure }
+
+let queue_instance params cfg policy =
+  let params = { params with Workloads.Queue.policy } in
+  let cfg = { cfg with Ps.Config.record_graph = true } in
+  let engine = Ps.Engine.create cfg in
+  let result = Workloads.Queue.run params ~sink:(Ps.Engine.observe engine) in
+  let layout = result.Workloads.Queue.layout in
+  { graph = Option.get (Ps.Engine.graph engine);
+    capacity = Workloads.Queue_recovery.image_capacity layout;
+    observer = Workloads.Queue_recovery.checker ~params ~layout }
+
+let kv_instance params cfg policy =
+  let params = { params with Kv.policy } in
+  let cfg = { cfg with Ps.Config.record_graph = true } in
+  let engine = Ps.Engine.create cfg in
+  let result = Kv.run params ~sink:(Ps.Engine.observe engine) in
+  let layout = result.Kv.layout in
+  { graph = Option.get (Ps.Engine.graph engine);
+    capacity = Kv_recovery.image_capacity layout;
+    observer = Kv_recovery.checker ~params ~layout }
+
+let replay sched run = run (M.Scripted (Schedule.to_script sched))
+
+let check_schedule ~strategy sched run =
+  let inst = replay sched run in
+  Recovery.check ~graph:inst.graph ~capacity:inst.capacity
+    ~strategy:(strategy inst.graph) inst.observer

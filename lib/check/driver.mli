@@ -1,0 +1,74 @@
+(** Cross-interleaving recovery checking: DPOR exploration with the
+    {!Recovery} failure-injection checker run at every explored
+    interleaving.
+
+    Recovery verdicts are a function of the persist dependence graph,
+    and trace-equivalent interleavings produce graphs with equal
+    {!Persistency.Graph_export.fingerprint}s — so the driver checks
+    recovery once per {e distinct} graph and skips duplicates, both
+    across equivalent schedules the explorer still executed and across
+    inequivalent schedules that happen to constrain persists
+    identically (e.g. under strict persistency). *)
+
+type instance = {
+  graph : Persistency.Persist_graph.t;
+      (** persist dependence graph of the run *)
+  capacity : int;  (** persistent image size for failure injection *)
+  observer : Recovery.observer;  (** the workload's recovery checker *)
+}
+(** What one workload execution hands the driver: everything
+    {!Recovery.check} needs. *)
+
+type report = {
+  stats : Dpor.stats;
+  distinct : int;  (** distinct persist-graph fingerprints seen *)
+  checked : int;  (** recovery checks run (one per distinct graph) *)
+  prefixes : int;  (** durable prefixes checked across all graphs *)
+  failure : (Schedule.t * Recovery.failure) option;
+      (** first counter-example: the replayable schedule and the
+          unrecoverable crash state found on it *)
+}
+
+val check :
+  ?gran:int ->
+  ?max_schedules:int ->
+  ?jobs:int ->
+  ?stop_on_failure:bool ->
+  strategy:(Persistency.Persist_graph.t -> Recovery.strategy) ->
+  (Memsim.Machine.policy -> instance) ->
+  report
+(** [check ~strategy run] explores [run]'s interleavings
+    ({!Dpor.explore}; {!Dpor.explore_par} when [jobs > 1]) and
+    failure-injects every distinct persist graph.  [strategy] picks the
+    prefix-walk strategy per graph — pass [Recovery.auto ~samples ~seed]
+    partially applied, or [fun _ -> Exhaustive] for small fixed-size
+    graphs.  [stop_on_failure] (default true) aborts the exploration at
+    the first unrecoverable crash state; the failing schedule is
+    reported either way. *)
+
+val queue_instance :
+  Workloads.Queue.params ->
+  Persistency.Config.t ->
+  Memsim.Machine.policy ->
+  instance
+(** Run the persistent queue workload once under [policy] (the params'
+    own policy is ignored), with graph recording forced on, and package
+    the run for {!check}.  Partially applied to params and config, this
+    is the [run] argument. *)
+
+val kv_instance :
+  Kv.params -> Persistency.Config.t -> Memsim.Machine.policy -> instance
+(** Same for the KV store workload. *)
+
+val replay : Schedule.t -> (Memsim.Machine.policy -> instance) -> instance
+(** Re-execute one schedule deterministically ([Scripted] policy with
+    the schedule's forced indices). *)
+
+val check_schedule :
+  strategy:(Persistency.Persist_graph.t -> Recovery.strategy) ->
+  Schedule.t ->
+  (Memsim.Machine.policy -> instance) ->
+  (Recovery.report, Recovery.failure) result
+(** {!replay} one schedule and failure-inject it — how a persisted
+    counter-example is validated in the test suite and by
+    [persistsim explore --replay]. *)

@@ -1,0 +1,36 @@
+type t = {
+  tids : int array;
+  indices : int array;
+}
+
+let forced s = Array.to_list s.indices
+let to_script s = Memsim.Machine.script ~forced:(forced s)
+let length s = Array.length s.indices
+
+let to_string s =
+  String.concat "," (List.map string_of_int (forced s))
+
+let of_string str =
+  if String.trim str = "" then { tids = [||]; indices = [||] }
+  else
+    let parse part =
+      match int_of_string_opt (String.trim part) with
+      | Some i when i >= 0 -> i
+      | Some _ | None ->
+        invalid_arg
+          (Printf.sprintf "Schedule.of_string: bad index %S in %S" part str)
+    in
+    let indices =
+      Array.of_list (List.map parse (String.split_on_char ',' str))
+    in
+    { tids = [||]; indices }
+
+let pp ppf s =
+  if Array.length s.tids <> Array.length s.indices then
+    Format.pp_print_string ppf (to_string s)
+  else
+    Array.iteri
+      (fun i tid ->
+        if i > 0 then Format.pp_print_char ppf ' ';
+        Format.fprintf ppf "%d@%d" tid s.indices.(i))
+      s.tids

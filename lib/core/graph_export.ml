@@ -147,3 +147,40 @@ let explain ppf g =
          else "")
         cause)
     chain
+
+(* Canonical digest: node ids are assigned in SC creation order, so two
+   trace-equivalent executions produce isomorphic graphs whose ids
+   differ only by a reordering of independent steps.  Renumbering nodes
+   by (tid, per-thread creation order) — which equivalent traces agree
+   on, since per-thread order is program order — yields a canonical
+   form, making the digest a fingerprint of the graph up to trace
+   equivalence. *)
+let fingerprint g =
+  let n = Pg.node_count g in
+  let order = Array.init n (fun id -> id) in
+  Array.sort
+    (fun a b ->
+      let na = Pg.get g a and nb = Pg.get g b in
+      match compare na.Pg.tid nb.Pg.tid with
+      | 0 -> compare a b
+      | c -> c)
+    order;
+  let canon = Array.make n 0 in
+  Array.iteri (fun new_id old_id -> canon.(old_id) <- new_id) order;
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun old_id ->
+      let node = Pg.get g old_id in
+      Printf.bprintf buf "n%d t%d l%d:" canon.(old_id) node.Pg.tid
+        node.Pg.level;
+      Memsim.Vec.iter
+        (fun (w : Pg.write) ->
+          Printf.bprintf buf "w%d.%d=%Ld;" w.Pg.addr w.Pg.size w.Pg.value)
+        node.Pg.writes;
+      let deps =
+        List.sort compare (List.map (fun d -> canon.(d)) (Iset.elements node.Pg.deps))
+      in
+      List.iter (fun d -> Printf.bprintf buf "d%d;" d) deps;
+      Buffer.add_char buf '\n')
+    order;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -28,6 +28,15 @@ val to_jsonl : Format.formatter -> Persist_graph.t -> unit
     [critical] marks membership of {!critical_chain}.  Dependence ids
     are sorted ascending. *)
 
+val fingerprint : Persist_graph.t -> string
+(** Hex digest of the graph's canonical form, invariant under trace
+    equivalence: nodes are renumbered by (thread, per-thread creation
+    order) — which every equivalent interleaving agrees on — before
+    digesting writes, levels and dependence edges.  Two executions from
+    the same Mazurkiewicz trace class therefore fingerprint equal, so a
+    systematic explorer ({!Check.Driver}) can deduplicate recovery
+    checking across equivalent interleavings. *)
+
 val explain : Format.formatter -> Persist_graph.t -> unit
 (** The longest dependence chain as a persist-by-persist walk: one line
     per level, showing the node, its thread, its writes (first address

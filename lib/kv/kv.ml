@@ -61,6 +61,17 @@ let default_params =
     seed = 42;
     policy = M.Round_robin }
 
+let explore_params ?(threads = 2) ?(depth = 2) discipline =
+  { discipline;
+    threads;
+    ops_per_thread = depth;
+    get_every = 0;
+    key_space = 2;
+    groups = 1;
+    group_size = 4;
+    seed = 1;
+    policy = M.Round_robin }
+
 let discipline_name = function
   | Strict_stores -> "strict-stores"
   | Epoch_undo -> "epoch-undo"

@@ -19,6 +19,16 @@ type outcome = {
   complete : bool;  (** false when [limit] stopped the search *)
 }
 
+val next_prefix : (int * int) list -> int list option
+(** The backtracking step, exposed for testing: given one run's
+    decision log ([(chosen index, runnable count)] per step, as from
+    {!Machine.script_choices}), the forced prefix of the next leaf in
+    depth-first order — increment the deepest decision with an untried
+    alternative and drop everything after it — or [None] when every
+    decision took its last alternative (the search is complete).  A log
+    whose every step had a single runnable thread has no alternatives
+    at all. *)
+
 val run_all :
   ?limit:int -> (Machine.policy -> unit) -> outcome
 (** [run_all run] calls [run] once per interleaving with a [Scripted]

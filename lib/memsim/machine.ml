@@ -9,10 +9,28 @@ type script = {
 let script ~forced = { forced; log = [] }
 let script_choices s = List.rev s.log
 
+type access = {
+  addr : int;
+  size : int;
+  write : bool;
+}
+
+type step_info = {
+  tid : int;
+  index : int;
+  next : access option;
+}
+
+type guide = {
+  choose : step_info array -> int;
+  on_step : int -> access list -> unit;
+}
+
 type policy =
   | Round_robin
   | Random of int
   | Scripted of script
+  | Guided of guide
 
 exception Deadlock of int list
 
@@ -41,10 +59,16 @@ type _ op =
 
 type _ Effect.t += E : 'a op -> 'a Effect.t
 
+(* Runnable entry: thread id, the static footprint of its pending
+   operation (None when the step touches no shared location — thread
+   starts, lock-grant resumptions, yields), and the thunk. *)
+type entry = int * access option * (unit -> unit)
+
 type runq =
-  | Fifo of (int * (unit -> unit)) Queue.t
-  | Bag of (int * (unit -> unit)) Vec.t * Random.State.t
-  | Script_bag of (int * (unit -> unit)) Vec.t * script
+  | Fifo of entry Queue.t
+  | Bag of entry Vec.t * Random.State.t
+  | Script_bag of entry Vec.t * script
+  | Guided_bag of entry Vec.t * guide
 
 type t = {
   mem : Memory.t;
@@ -53,6 +77,8 @@ type t = {
   mutable next_tid : int;
   mutable events : int;
   blocked : (int, unit) Hashtbl.t;
+  mutable step_log : access list;  (* dynamic footprint of the running
+                                      step, newest first (Guided only) *)
 }
 
 let create ?(policy = Round_robin) ~memory () =
@@ -61,22 +87,32 @@ let create ?(policy = Round_robin) ~memory () =
     | Round_robin -> Fifo (Queue.create ())
     | Random seed -> Bag (Vec.create (), Random.State.make [| seed |])
     | Scripted s -> Script_bag (Vec.create (), s)
+    | Guided g -> Guided_bag (Vec.create (), g)
   in
   { mem = memory;
     runq;
     sink = ignore;
     next_tid = 0;
     events = 0;
-    blocked = Hashtbl.create 8 }
+    blocked = Hashtbl.create 8;
+    step_log = [] }
 
 let memory t = t.mem
 let set_sink t sink = t.sink <- sink
 let event_count t = t.events
 
-let schedule t tid thunk =
+let guided t =
   match t.runq with
-  | Fifo q -> Queue.push (tid, thunk) q
-  | Bag (v, _) | Script_bag (v, _) -> Vec.push v (tid, thunk)
+  | Guided_bag _ -> true
+  | Fifo _ | Bag _ | Script_bag _ -> false
+
+let note_access t acc = if guided t then t.step_log <- acc :: t.step_log
+
+let schedule t tid next thunk =
+  match t.runq with
+  | Fifo q -> Queue.push (tid, next, thunk) q
+  | Bag (v, _) | Script_bag (v, _) | Guided_bag (v, _) ->
+    Vec.push v (tid, next, thunk)
 
 let take_runnable t =
   match t.runq with
@@ -100,9 +136,38 @@ let take_runnable t =
       s.log <- (idx, n) :: s.log;
       Some (Vec.swap_remove v idx)
     end
+  | Guided_bag (v, g) ->
+    if Vec.is_empty v then None
+    else begin
+      let n = Vec.length v in
+      let infos =
+        Array.init n (fun i ->
+            let tid, next, _ = Vec.get v i in
+            { tid; index = i; next })
+      in
+      Array.sort (fun a b -> compare a.tid b.tid) infos;
+      let tid = g.choose infos in
+      let idx = ref (-1) in
+      for i = 0 to n - 1 do
+        let t', _, _ = Vec.get v i in
+        if t' = tid && !idx < 0 then idx := i
+      done;
+      if !idx < 0 then
+        invalid_arg
+          (Printf.sprintf "Machine: guide chose tid %d, which is not runnable"
+             tid);
+      Some (Vec.swap_remove v !idx)
+    end
 
 let emit t ev =
   t.events <- t.events + 1;
+  (if guided t then
+     match ev with
+     | Event.Access (k, a) ->
+       t.step_log <-
+         { addr = a.addr; size = a.size; write = k <> Event.Load }
+         :: t.step_log
+     | Event.Persist_barrier _ | Event.New_strand _ | Event.Label _ -> ());
   t.sink ev
 
 let emit_meta t ev = t.sink ev
@@ -169,15 +234,30 @@ let exec : type a. t -> int -> a op -> a =
     | Some (Waiter (tid', k')) ->
       Hashtbl.remove t.blocked tid';
       grant t tid' l;
-      schedule t tid' (fun () -> continue k' ())
+      schedule t tid' None (fun () -> continue k' ())
     | None -> l.owner <- None);
     ()
+
+(* Static footprint of a pending scheduling-point operation: the shared
+   locations its step is known to touch before it runs.  A lock
+   operation's footprint is the lock word (treated as a write: the
+   acquire is an RMW, and a blocked attempt still orders against the
+   release).  This is what a systematic explorer uses as the "next
+   transition" of an enabled-but-not-chosen thread. *)
+let static_footprint : type a. a op -> access option = function
+  | Load { addr; size } -> Some { addr; size; write = false }
+  | Store { addr; size; _ } -> Some { addr; size; write = true }
+  | Rmw { addr; _ } -> Some { addr; size = 8; write = true }
+  | Lock_op l -> Some { addr = l.word; size = 8; write = true }
+  | Unlock_op l -> Some { addr = l.word; size = 8; write = true }
+  | Self | Yield -> None
+  | Persist_barrier | New_strand | Label _ | Malloc _ | Free _ -> None
 
 let dispatch : type a. t -> int -> a op -> (a, unit) continuation -> unit =
  fun t tid op k ->
   match op with
   | Lock_op l ->
-    schedule t tid (fun () ->
+    schedule t tid (static_footprint op) (fun () ->
         match l.owner with
         | None ->
           grant t tid l;
@@ -186,16 +266,20 @@ let dispatch : type a. t -> int -> a op -> (a, unit) continuation -> unit =
           discontinue k
             (Invalid_argument "Machine.lock: lock is not reentrant")
         | Some _ ->
+          (* The blocked attempt emits no event, but the step still
+             read the lock word; record it for conflict analyses. *)
+          note_access t { addr = l.word; size = 8; write = true };
           Hashtbl.replace t.blocked tid ();
           Queue.push (Waiter (tid, k)) l.waiters)
   (* Operations that touch no shared state are not scheduling points:
      reordering them against other threads' events is unobservable, so
      executing them inline is a sound partial-order reduction — it
-     keeps systematic exploration (Explore) over memory accesses only. *)
+     keeps systematic exploration (Explore, Check.Dpor) over memory
+     accesses only. *)
   | Persist_barrier | New_strand | Label _ | Malloc _ | Free _ ->
     continue k (exec t tid op)
   | Self | Load _ | Store _ | Rmw _ | Yield | Unlock_op _ ->
-    schedule t tid (fun () -> continue k (exec t tid op))
+    schedule t tid (static_footprint op) (fun () -> continue k (exec t tid op))
 
 let spawn t body =
   let tid = t.next_tid in
@@ -211,14 +295,19 @@ let spawn t body =
               Some (fun (k : (a, unit) continuation) -> dispatch t tid op k)
             | _ -> None) }
   in
-  schedule t tid start;
+  schedule t tid None start;
   tid
 
 let run t =
   let rec loop () =
     match take_runnable t with
-    | Some (_tid, thunk) ->
-      thunk ();
+    | Some (tid, _next, thunk) ->
+      (match t.runq with
+      | Guided_bag (_, g) ->
+        t.step_log <- [];
+        thunk ();
+        g.on_step tid (List.rev t.step_log)
+      | Fifo _ | Bag _ | Script_bag _ -> thunk ());
       loop ()
     | None ->
       if Hashtbl.length t.blocked > 0 then

@@ -26,12 +26,51 @@ type script
 (** Recording of the scheduler's choice points, for systematic
     exploration of interleavings (see {!Explore}). *)
 
+type access = {
+  addr : int;
+  size : int;
+  write : bool;  (** stores and RMWs; lock words count as writes *)
+}
+(** A shared-memory access, as seen by conflict analyses: two accesses
+    conflict when their byte ranges overlap (at the analyzer's tracking
+    granularity) and at least one is a write. *)
+
+type step_info = {
+  tid : int;  (** the runnable thread *)
+  index : int;
+      (** the thread's position in the runnable bag — the index a
+          [Scripted] policy would have to force to take this thread,
+          so a guided run can be persisted as a replayable script *)
+  next : access option;
+      (** static footprint of the thread's pending operation; [None]
+          when the step touches no shared location (thread start,
+          lock-grant resumption, yield) *)
+}
+
+type guide = {
+  choose : step_info array -> int;
+      (** called at every scheduling point with the enabled threads
+          (sorted by [tid]); returns the tid to run next.  Raising
+          aborts {!run}. *)
+  on_step : int -> access list -> unit;
+      (** called after the chosen step executed, with the accesses it
+          actually performed (in order).  The dynamic footprint can
+          exceed the static one: a lock release also performs the
+          woken thread's acquire RMW. *)
+}
+(** The scheduler hook for systematic exploration (see [Check.Dpor]):
+    the guide sees per-step enabled sets with conflict footprints and
+    dictates every decision. *)
+
 type policy =
   | Round_robin  (** rotate threads after every operation *)
   | Random of int  (** pick a runnable thread uniformly, seeded *)
   | Scripted of script
       (** follow a forced choice prefix, then first-runnable; every
           decision is recorded in the script *)
+  | Guided of guide
+      (** ask [choose] at every scheduling point; report each executed
+          step to [on_step] *)
 
 val script : forced:int list -> script
 (** A script whose first decisions are the given runnable indices. *)

@@ -101,3 +101,12 @@ let check_invariant ~graph ~capacity ~strategy observer =
   match check ~graph ~capacity ~strategy observer with
   | Ok _ -> Ok ()
   | Error f -> Error (render_failure f)
+
+(* 2^20 prefixes is the most an exhaustive walk should attempt; the
+   [all_down_closed] hard ceiling is 24 nodes, but graphs that dense
+   are already better sampled. *)
+let auto ?(exhaustive_limit = 20) ~samples ~seed graph =
+  if exhaustive_limit > 24 then
+    invalid_arg "Recovery.auto: exhaustive_limit must be <= 24";
+  if P.Persist_graph.node_count graph <= exhaustive_limit then Exhaustive
+  else Sampled { samples; seed }

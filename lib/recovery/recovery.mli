@@ -62,3 +62,16 @@ val check_invariant :
 
 val render_failure : failure -> string
 (** ["crash state with N/M persists durable: ..."]. *)
+
+val auto :
+  ?exhaustive_limit:int ->
+  samples:int ->
+  seed:int ->
+  Persistency.Persist_graph.t ->
+  strategy
+(** The strategy a graph's size admits: [Exhaustive] up to
+    [exhaustive_limit] nodes (default 20, capped at the 24-node
+    {!Persistency.Dag.all_down_closed} ceiling), [Sampled] beyond.
+    Partially applied, this is the per-graph strategy chooser a
+    cross-interleaving driver wants ({!Check.Driver.check}): graph
+    sizes vary across interleavings of one workload. *)

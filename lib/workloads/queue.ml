@@ -39,6 +39,16 @@ let default_params =
     seed = 42;
     policy = M.Round_robin }
 
+let explore_params ?(threads = 2) ?(depth = 2) annotation =
+  { design = Cwl;
+    annotation;
+    threads;
+    inserts_per_thread = depth;
+    entry_size = 16;
+    capacity_entries = threads * depth;
+    seed = 1;
+    policy = M.Round_robin }
+
 let annotation_for mode ~racing =
   match mode with
   | Persistency.Config.Strict -> Unannotated

@@ -64,6 +64,13 @@ val annotation_for : Persistency.Config.mode -> racing:bool -> annotation
 (** The natural annotation for a model: strict → [Unannotated], epoch →
     [Epoch] or [Racing], strand → [Strand]. *)
 
+val explore_params : ?threads:int -> ?depth:int -> annotation -> params
+(** A CWL instance sized for systematic exploration ({!Check}):
+    [threads] (default 2) threads of [depth] (default 2) inserts of a
+    16-byte entry, capacity exactly [threads * depth] (no wrap-around,
+    as {!Queue_recovery} requires), deterministic seed.  The caller
+    overrides [policy] per execution. *)
+
 type layout = {
   head_addr : int;  (** persistent 8-byte head pointer (unused by
                         [Fang], which has no head) *)

@@ -35,12 +35,30 @@ let test_counts_interleavings () =
      start thunks themselves are scheduling decisions, making the space
      slightly larger; just check monotone growth and exact small case *)
   let count n =
-    (Memsim.Explore.run_all ~limit:100_000 (two_threads_n_ops n)).traces
+    let o = Memsim.Explore.run_all ~limit:100_000 (two_threads_n_ops n) in
+    (* a truncated search would silently undercount: completeness is
+       part of the contract being tested *)
+    checkb (Printf.sprintf "n=%d complete" n) true o.Memsim.Explore.complete;
+    o.Memsim.Explore.traces
   in
   let c1 = count 1 and c2 = count 2 in
   checkb "n=1 at least C(2,1)" true (c1 >= choose 1 2);
   checkb "n=2 more traces" true (c2 > c1);
   checkb "n=2 at least C(4,2)" true (c2 >= choose 2 4)
+
+let test_next_prefix () =
+  (* the backtracking step in isolation: log = (chosen, runnable count)
+     per decision, result = forced prefix of the next depth-first leaf *)
+  let np = Memsim.Explore.next_prefix in
+  let chk name exp log =
+    Alcotest.(check (option (list int))) name exp (np log)
+  in
+  chk "empty log" None [];
+  chk "single-choice log" None [ (0, 1); (0, 1) ];
+  chk "all last alternatives" None [ (1, 2); (2, 3) ];
+  chk "increments sole decision" (Some [ 1 ]) [ (0, 2) ];
+  chk "increments deepest non-last" (Some [ 0; 1 ]) [ (0, 2); (0, 3); (1, 2) ];
+  chk "drops exhausted suffix" (Some [ 1 ]) [ (0, 2); (2, 3); (1, 2) ]
 
 let test_complete_flag () =
   let o = Memsim.Explore.run_all ~limit:3 (two_threads_n_ops 3) in
@@ -190,6 +208,8 @@ let () =
     [ ( "explorer",
         [ Alcotest.test_case "counts interleavings" `Quick
             test_counts_interleavings;
+          Alcotest.test_case "next_prefix backtracking" `Quick
+            test_next_prefix;
           Alcotest.test_case "complete flag" `Quick test_complete_flag;
           Alcotest.test_case "distinct traces" `Quick test_distinct_traces;
           Alcotest.test_case "script validation" `Quick

@@ -170,6 +170,89 @@ let fuzz_kv ~name ~count mode =
     | Error msg -> fail "oracle: %s" msg
   done
 
+(* ------------------------------------------------------------------ *)
+(* Explorer-seeded corpus: schedules found by the DPOR explorer
+   (lib/check) — ordinary interleavings and recovery counter-examples
+   from the buggy workload variants — persisted through their string
+   form, replayed as [Scripted] scripts ([Machine.script ~forced]), and
+   verified like any fuzz trace: the replay must reproduce the explored
+   trace exactly, and the engine must agree with [Oracle.critical_path]
+   on it. *)
+
+module Q = Workloads.Queue
+
+let queue_events annotation policy =
+  let params = Q.explore_params ~threads:2 ~depth:2 annotation in
+  let trace = Memsim.Trace.create () in
+  ignore (Q.run { params with Q.policy } ~sink:(Memsim.Trace.sink trace));
+  Memsim.Trace.to_list trace
+
+let kv_events discipline policy =
+  let params = Kv.explore_params discipline in
+  let trace = Memsim.Trace.create () in
+  ignore (Kv.run { params with Kv.policy } ~sink:(Memsim.Trace.sink trace));
+  Memsim.Trace.to_list trace
+
+let check_corpus_trace ~what mode trace =
+  let cfg = P.Config.make mode in
+  let cfg_nc = { cfg with P.Config.coalescing = false } in
+  let engine = P.Engine.create cfg_nc in
+  P.Engine.observe_trace engine trace;
+  let ecp = P.Engine.critical_path engine in
+  let ocp = P.Oracle.critical_path (P.Oracle.build cfg_nc trace) in
+  if ecp <> ocp then
+    Alcotest.failf
+      "%s: critical path mismatch (no coalescing): engine %d, oracle %d" what
+      ecp ocp;
+  match P.Oracle.verify_engine cfg trace with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: oracle: %s" what msg
+
+let test_explorer_corpus () =
+  let entries = ref [] in
+  (* a slice of the safe workload's explored schedules *)
+  let run = queue_events Q.Epoch in
+  ignore
+    (Check.Dpor.explore ~max_schedules:12
+       ~on_exec:(fun sched evs ->
+         entries := ("cwl/epoch", run, sched, evs) :: !entries;
+         Check.Dpor.Continue)
+       run);
+  (* the counter-example schedules the driver finds on the buggy
+     variants *)
+  let add_failure what instance_of events_of =
+    let report =
+      Check.Driver.check ~max_schedules:512
+        ~strategy:(Recovery.auto ~samples:64 ~seed:1)
+        instance_of
+    in
+    match report.Check.Driver.failure with
+    | None -> Alcotest.failf "%s: expected a recovery counter-example" what
+    | Some (sched, _) ->
+      let explored =
+        events_of (Memsim.Machine.Scripted (Check.Schedule.to_script sched))
+      in
+      entries := (what, events_of, sched, explored) :: !entries
+  in
+  let epoch_cfg = P.Config.make P.Config.Epoch in
+  add_failure "cwl/buggy-epoch"
+    (Check.Driver.queue_instance (Q.explore_params Q.Buggy_epoch) epoch_cfg)
+    (queue_events Q.Buggy_epoch);
+  add_failure "kv/buggy-undo"
+    (Check.Driver.kv_instance (Kv.explore_params Kv.Buggy_undo) epoch_cfg)
+    (kv_events Kv.Buggy_undo);
+  Alcotest.(check bool) "corpus populated" true (List.length !entries >= 10);
+  List.iter
+    (fun (what, events_of, sched, explored) ->
+      let persisted = Check.Schedule.of_string (Check.Schedule.to_string sched) in
+      let replayed =
+        events_of (Memsim.Machine.Scripted (Check.Schedule.to_script persisted))
+      in
+      if List.map E.to_string replayed <> List.map E.to_string explored then
+        Alcotest.failf "%s: replay diverged from the explored trace" what;
+      check_corpus_trace ~what P.Config.Epoch (Memsim.Trace.of_list replayed))
+    !entries
+
 type campaign = {
   c_name : string;
   count : int;
@@ -250,4 +333,7 @@ let () =
               (Printf.sprintf "%s (%d traces)" name kv_traces)
               `Quick
               (fun () -> fuzz_kv ~name ~count:kv_traces mode))
-          P.Config.all_modes ) ]
+          P.Config.all_modes );
+      ( "explorer-corpus",
+        [ Alcotest.test_case "replayed schedules agree with the oracle"
+            `Quick test_explorer_corpus ] ) ]
