@@ -2,7 +2,7 @@
 # the parallel sweeps and the fuzzer; see README "Running the
 # evaluation in parallel".
 
-.PHONY: all build test bench bench-quick fuzz fmt-check smoke explore ci clean
+.PHONY: all build test bench bench-quick fuzz fmt-check smoke explore litmus ci clean
 
 all: build
 
@@ -49,8 +49,16 @@ explore: build
 	dune exec bin/persistsim.exe -- explore --workload kv --model strand --depth 2 --jobs 2 > /dev/null
 	dune exec bin/persistsim.exe -- explore --workload kv --buggy --depth 2 | grep -q "RECOVERY VIOLATION"
 
+# Litmus suite: every program's outcome set checked exhaustively under
+# both machine models (brute force + engine/oracle cross-check), then
+# again with DPOR; the queue sweep on the SC vs TSO machine.
+litmus: build
+	dune exec bin/persistsim.exe -- litmus --model both
+	dune exec bin/persistsim.exe -- litmus --model both --dpor
+	dune exec bin/persistsim.exe -- machine --inserts 2000 > /dev/null
+
 # What .github/workflows/ci.yml runs.
-ci: fmt-check build test smoke explore
+ci: fmt-check build test smoke explore litmus
 
 clean:
 	dune clean

@@ -113,7 +113,12 @@ let reproduce () =
   banner "NVRAM wear";
   let w = Experiments.Wear_exp.run ~jobs ~total_inserts:(2 * micro_inserts) () in
   on_profile w.Experiments.Wear_exp.profile;
-  print_string (Experiments.Wear_exp.render w)
+  print_string (Experiments.Wear_exp.render w);
+  banner "Queue under SC vs TSO machine";
+  let m =
+    Experiments.Machine_exp.run ~jobs ~total_inserts:(2 * micro_inserts) ()
+  in
+  print_string (Experiments.Machine_exp.render m)
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmarks *)
@@ -277,6 +282,21 @@ let bench_explore_brute =
     (Staged.stage (fun () ->
          ignore (Memsim.Explore.run_all ~limit:100_000 explore_run)))
 
+(* The whole litmus suite, exhaustively checked under TSO (every
+   store-buffer drain interleaving) — brute force vs DPOR. *)
+let bench_litmus how name =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         List.iter
+           (fun t ->
+             let r = Litmus.check ~how ~model:Memsim.Machine.Tso t in
+             if not (Litmus.pass r) then
+               failwith ("litmus failed: " ^ t.Litmus.name))
+           Litmus.suite))
+
+let bench_litmus_brute = bench_litmus Litmus.Brute "litmus:suite-tso-brute"
+let bench_litmus_dpor = bench_litmus Litmus.Dpor "litmus:suite-tso-dpor"
+
 let tests =
   [ bench_table1; bench_fig3; bench_fig4; bench_fig5; bench_trace_generation;
     bench_engine Persistency.Config.Strict;
@@ -284,7 +304,7 @@ let tests =
     bench_engine Persistency.Config.Strand;
     bench_recovery_sampling; bench_kv_store; bench_kv_recovery; bench_drain;
     bench_epoch_hw; bench_txn_commit; bench_explore_dpor;
-    bench_explore_brute ]
+    bench_explore_brute; bench_litmus_brute; bench_litmus_dpor ]
 
 let run_benchmarks () =
   banner "MICROBENCHMARKS (Bechamel, monotonic clock)";

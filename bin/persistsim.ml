@@ -791,6 +791,123 @@ let explore_cmd =
           $ depth_t $ jobs_t $ max_schedules_t $ samples_t $ seed_t
           $ oracle_t $ replay_t $ csv_t)
 
+(* machine (SC vs TSO) *)
+
+let machine_cmd =
+  let run () inserts capacity jobs =
+    let t =
+      Experiments.Machine_exp.run ~jobs ~total_inserts:inserts
+        ~capacity_entries:capacity ()
+    in
+    rendering (fun () ->
+        print_string (Experiments.Machine_exp.render t));
+    print_profile t.Experiments.Machine_exp.profile
+  in
+  Cmd.v
+    (Cmd.info "machine"
+       ~doc:"Run the epoch-annotated CWL queue on an SC vs an x86-TSO \
+             machine (per-thread store buffers, persists at drain time) \
+             and compare persist counts and critical path.")
+    Term.(const run $ obs_t $ inserts_t $ capacity_t $ jobs_t)
+
+(* litmus *)
+
+let litmus_cmd =
+  let run () models dpor name verbose csv =
+    let tests =
+      match name with
+      | None -> Litmus.suite
+      | Some n -> (
+        match Litmus.find n with
+        | Some t -> [ t ]
+        | None ->
+          Printf.eprintf "unknown litmus test %S; known: %s\n" n
+            (String.concat ", " (List.map (fun t -> t.Litmus.name) Litmus.suite));
+          exit 2)
+    in
+    let how = if dpor then Litmus.Dpor else Litmus.Brute in
+    let results =
+      List.concat_map
+        (fun t ->
+          List.map (fun model -> Litmus.check ~verify:true ~how ~model t) models)
+        tests
+    in
+    rendering (fun () ->
+        if csv then begin
+          print_string "test,model,method,schedules,outcomes,status\n";
+          List.iter
+            (fun (r : Litmus.result) ->
+              Printf.printf "%s,%s,%s,%d,%d,%s\n" r.Litmus.test.Litmus.name
+                (Litmus.model_name r.Litmus.model)
+                (Litmus.method_name r.Litmus.how)
+                r.Litmus.schedules
+                (List.length r.Litmus.observed)
+                (if Litmus.pass r then "pass" else "FAIL"))
+            results
+        end
+        else begin
+          Printf.printf "%-18s %-5s %-6s %10s %9s  %s\n" "test" "model"
+            "method" "schedules" "outcomes" "status";
+          List.iter
+            (fun (r : Litmus.result) ->
+              Printf.printf "%-18s %-5s %-6s %10d %9d  %s\n"
+                r.Litmus.test.Litmus.name
+                (Litmus.model_name r.Litmus.model)
+                (Litmus.method_name r.Litmus.how)
+                r.Litmus.schedules
+                (List.length r.Litmus.observed)
+                (if Litmus.pass r then "pass" else "FAIL");
+              if verbose || not (Litmus.pass r) then begin
+                Printf.printf "    %s\n" r.Litmus.test.Litmus.doc;
+                Printf.printf "    observed: %s\n"
+                  (String.concat " | " r.Litmus.observed);
+                let part what = function
+                  | [] -> ()
+                  | l ->
+                    Printf.printf "    %s: %s\n" what (String.concat " | " l)
+                in
+                part "MISSING" r.Litmus.missing;
+                part "UNEXPECTED" r.Litmus.unexpected;
+                part "FORBIDDEN OBSERVED" r.Litmus.forbidden_hit
+              end)
+            results
+        end);
+    if List.exists (fun r -> not (Litmus.pass r)) results then exit 1
+  in
+  let models_t =
+    let model_conv =
+      Arg.enum [ ("sc", [ Memsim.Machine.Sc ]);
+                 ("tso", [ Memsim.Machine.Tso ]);
+                 ("both", [ Memsim.Machine.Sc; Memsim.Machine.Tso ]) ]
+    in
+    Arg.(value & opt model_conv [ Memsim.Machine.Sc; Memsim.Machine.Tso ]
+         & info [ "model" ] ~docv:"MODEL"
+             ~doc:"Machine consistency model: $(b,sc), $(b,tso) or \
+                   $(b,both) (default).")
+  in
+  let dpor_t =
+    Arg.(value & flag
+         & info [ "dpor" ]
+             ~doc:"Explore with dynamic partial-order reduction instead of \
+                   brute-force interleaving enumeration.")
+  in
+  let test_t =
+    Arg.(value & opt (some string) None
+         & info [ "test" ] ~docv:"NAME" ~doc:"Run a single named test.")
+  in
+  let verbose_t =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ]
+             ~doc:"Print each test's observed outcome set.")
+  in
+  Cmd.v
+    (Cmd.info "litmus"
+       ~doc:"Exhaustively check the litmus-test suite (classic x86 shapes \
+             and Px86 persist-order shapes) against declared outcome sets \
+             under SC and TSO, cross-checking the engine against the \
+             ordering oracle.")
+    Term.(const run $ obs_t $ models_t $ dpor_t $ test_t $ verbose_t $ csv_t)
+
 let main =
   let doc =
     "reproduction of 'Memory Persistency' (ISCA 2014): persistency models, \
@@ -800,6 +917,7 @@ let main =
     (Cmd.info "persistsim" ~version:"1.0.0" ~doc)
     [ table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; validate_cmd; recovery_cmd;
       kv_cmd; trace_cmd; analyze_cmd; graph_cmd; ablation_cmd; calibrate_cmd;
-      cache_cmd; wear_cmd; consistency_cmd; explore_cmd ]
+      cache_cmd; wear_cmd; consistency_cmd; explore_cmd; litmus_cmd;
+      machine_cmd ]
 
 let () = exit (Cmd.eval main)

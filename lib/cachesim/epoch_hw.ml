@@ -181,12 +181,14 @@ let access t kind (a : Event.access) =
 let observe t ev =
   match ev with
   | Event.Access (kind, a) -> access t kind a
-  | Event.Persist_barrier tid | Event.New_strand tid ->
-    (* the hardware sketch has no strand support; a NewStrand simply
-       opens a new epoch *)
+  | Event.Persist_barrier tid
+  | Event.New_strand tid
+  | Event.Fence { tid; _ } ->
+    (* the hardware sketch has no strand or Px86 support; a NewStrand
+       or fence simply opens a new epoch *)
     let ts = thread t tid in
     ts.cur_epoch <- ts.cur_epoch + 1
-  | Event.Label _ -> ()
+  | Event.Label _ | Event.Flush _ -> ()
 
 let finish t =
   Hashtbl.iter

@@ -14,6 +14,8 @@ let m_coalesced = M.counter M.default "engine.coalesced"
 let m_barriers = M.counter M.default "engine.persist_barriers"
 let m_strands = M.counter M.default "engine.new_strands"
 let m_labels = M.counter M.default "engine.labels"
+let m_flushes = M.counter M.default "engine.flushes"
+let m_fences = M.counter M.default "engine.fences"
 let m_cp = M.gauge_max M.default "engine.critical_path_max"
 let m_level = M.histogram M.default "engine.persist_level"
 let m_coalesce_run = M.histogram M.default "engine.coalesce_run_length"
@@ -33,9 +35,13 @@ type tstate = {
   mutable ld_view : Level.t;
       (* strict/TSO: what a load is ordered after (earlier loads, RMWs
          and fences only — stores may drift past loads under TSO) *)
+  mutable flush_acc : Level.t;
+      (* Px86: persists captured by clflushopt/clwb since the last
+         fence; a fence commits them into the barrier view *)
   mutable barrier_f : Iset.t;
   mutable acc_f : Iset.t;
   mutable ld_view_f : Iset.t;
+  mutable flush_f : Iset.t;
 }
 
 type bstate = {
@@ -93,9 +99,11 @@ let thread t tid =
       { barrier = Level.bottom;
         acc = Level.bottom;
         ld_view = Level.bottom;
+        flush_acc = Level.bottom;
         barrier_f = Iset.empty;
         acc_f = Iset.empty;
-        ld_view_f = Iset.empty }
+        ld_view_f = Iset.empty;
+        flush_f = Iset.empty }
     in
     Hashtbl.add t.threads tid ts;
     ts
@@ -335,7 +343,14 @@ let observe t ev =
   | Event.Persist_barrier tid ->
     M.incr m_barriers;
     (match t.cfg.Config.mode with
-    | Config.Epoch | Config.Strand -> barrier_of t (thread t tid)
+    | Config.Epoch | Config.Strand ->
+      let ts = thread t tid in
+      (* the epoch barrier subsumes a fence: pending flushes commit *)
+      ts.acc <- Level.merge ts.acc ts.flush_acc;
+      if record_graph t then ts.acc_f <- Iset.union ts.acc_f ts.flush_f;
+      ts.flush_acc <- Level.bottom;
+      ts.flush_f <- Iset.empty;
+      barrier_of t ts
     | Config.Strict ->
       (* under a relaxed consistency the event doubles as the memory
          fence that restores thread order *)
@@ -353,9 +368,57 @@ let observe t ev =
       let ts = thread t tid in
       ts.barrier <- Level.bottom;
       ts.acc <- Level.bottom;
+      ts.flush_acc <- Level.bottom;
       ts.barrier_f <- Iset.empty;
-      ts.acc_f <- Iset.empty
+      ts.acc_f <- Iset.empty;
+      ts.flush_f <- Iset.empty
     | Config.Strict | Config.Epoch -> ())
+  | Event.Flush { tid; addr; _ } ->
+    (* Px86 writeback request: capture the flushed line's current
+       persist frontier; a later fence orders it before the thread's
+       subsequent accesses.  The line may have been written by any
+       thread — flushing another thread's store is how Px86 publishes
+       it.  Under strict persistency volatile order already dictates
+       persist order, so the flush carries no extra constraint. *)
+    M.incr m_flushes;
+    (match t.cfg.Config.mode with
+    | Config.Epoch | Config.Strand ->
+      let ts = thread t tid in
+      let b = Memsim.Addr.block ~gran:t.cfg.Config.track_gran addr in
+      (match Hashtbl.find_opt t.blocks b with
+      | Some bs ->
+        ts.flush_acc <- Level.merge ts.flush_acc bs.store_l;
+        if record_graph t then ts.flush_f <- Iset.union ts.flush_f bs.store_f
+      | None -> ())
+    | Config.Strict -> ())
+  | Event.Fence { tid; _ } ->
+    (* sfence/mfence: commit the flushes accumulated since the last
+       fence into the thread's barrier view — later accesses (and the
+       next epoch barrier) are ordered after the flushed persists.
+       This is the per-line weaker cousin of [Persist_barrier], which
+       orders the whole epoch.  Under strict persistency the fence
+       doubles as the consistency fence, like [Persist_barrier]. *)
+    M.incr m_fences;
+    let ts = thread t tid in
+    (match t.cfg.Config.mode with
+    | Config.Epoch | Config.Strand ->
+      ts.barrier <- Level.merge ts.barrier ts.flush_acc;
+      (* also fold into [acc] so the next barrier's frontier snapshot
+         ([barrier_f <- acc_f]) keeps covering the fence's commits *)
+      ts.acc <- Level.merge ts.acc ts.flush_acc;
+      if record_graph t then begin
+        ts.barrier_f <- Iset.union ts.barrier_f ts.flush_f;
+        ts.acc_f <- Iset.union ts.acc_f ts.flush_f
+      end;
+      ts.flush_acc <- Level.bottom;
+      ts.flush_f <- Iset.empty
+    | Config.Strict ->
+      (match t.cfg.Config.consistency with
+      | Config.Sc -> ()
+      | Config.Tso | Config.Rmo ->
+        barrier_of t ts;
+        ts.ld_view <- ts.acc;
+        if record_graph t then ts.ld_view_f <- ts.acc_f))
   | Event.Label (_, name) ->
     M.incr m_labels;
     (match Hashtbl.find_opt t.labels name with

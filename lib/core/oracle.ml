@@ -22,6 +22,11 @@ type thread_ctx = {
   mutable last_access : int option;  (* for strict/SC program order *)
   mutable all : (int * Event.kind option) list;
       (* strict/TSO pairwise ordering; [None] marks a fence *)
+  mutable flushes : int list;
+      (* Px86 (epoch/strand): flush events since the last fence *)
+  mutable last_fence : int option;
+      (* Px86 (epoch/strand): the last sfence/mfence, which orders the
+         flushes it committed before the thread's later accesses *)
 }
 
 (* How same-thread events order persists:
@@ -48,7 +53,14 @@ let build (cfg : Config.t) trace =
     match Hashtbl.find_opt threads tid with
     | Some c -> c
     | None ->
-      let c = { cur = []; last_barrier = None; last_access = None; all = [] } in
+      let c =
+        { cur = [];
+          last_barrier = None;
+          last_access = None;
+          all = [];
+          flushes = [];
+          last_fence = None }
+      in
       Hashtbl.add threads tid c;
       c
   in
@@ -85,6 +97,9 @@ let build (cfg : Config.t) trace =
         (match c.last_barrier with
         | Some b -> Dag.add_edge dag b i
         | None -> ());
+        (match c.last_fence with
+        | Some f -> Dag.add_edge dag f i
+        | None -> ());
         c.cur <- i :: c.cur);
       (* Rule 2: conflicting accesses in trace (SC) order. *)
       let conflicts_tracked =
@@ -118,11 +133,14 @@ let build (cfg : Config.t) trace =
       | Fence_chained ->
         let c = ctx tid in
         List.iter (fun e -> Dag.add_edge dag e i) c.cur;
+        (* the epoch barrier subsumes a fence: pending flushes commit *)
+        List.iter (fun f -> Dag.add_edge dag f i) c.flushes;
         (match c.last_barrier with
         | Some b -> Dag.add_edge dag b i
         | None -> ());
         c.last_barrier <- Some i;
-        c.cur <- []
+        c.cur <- [];
+        c.flushes <- []
       | Pairwise_tso ->
         let c = ctx tid in
         List.iter (fun (j, _) -> Dag.add_edge dag j i) c.all;
@@ -133,8 +151,60 @@ let build (cfg : Config.t) trace =
       | Config.Strand ->
         let c = ctx tid in
         c.last_barrier <- None;
-        c.cur <- []
+        c.cur <- [];
+        c.flushes <- [];
+        c.last_fence <- None
       | Config.Strict | Config.Epoch -> ())
+    | Event.Flush { tid; addr; _ } ->
+      (* Px86 writeback request: ordered after the stores that produced
+         the flushed line's contents (any thread), before the next
+         fence.  Under strict persistency the volatile order already
+         orders persists, so the flush is a no-op. *)
+      (match cfg.Config.mode with
+      | Config.Epoch | Config.Strand ->
+        let c = ctx tid in
+        let b = Memsim.Addr.block ~gran:cfg.Config.track_gran addr in
+        (match Hashtbl.find_opt blocks b with
+        | Some prior ->
+          List.iter
+            (fun (j, kj, _space) ->
+              if is_store_kind kj then Dag.add_edge dag j i)
+            !prior
+        | None -> ());
+        c.flushes <- i :: c.flushes
+      | Config.Strict -> ())
+    | Event.Fence { tid; _ } ->
+      (match cfg.Config.mode with
+      | Config.Epoch | Config.Strand ->
+        (* commit the pending flushes: later accesses of this thread
+           (Rule 1's [last_fence] edge) are ordered after them *)
+        let c = ctx tid in
+        List.iter (fun f -> Dag.add_edge dag f i) c.flushes;
+        (match c.last_barrier with
+        | Some b -> Dag.add_edge dag b i
+        | None -> ());
+        (match c.last_fence with
+        | Some f -> Dag.add_edge dag f i
+        | None -> ());
+        c.flushes <- [];
+        c.last_fence <- Some i
+      | Config.Strict ->
+        (* the fence doubles as the consistency fence, exactly like a
+           persist barrier under strict persistency *)
+        (match disc with
+        | Fence_chained ->
+          let c = ctx tid in
+          List.iter (fun e -> Dag.add_edge dag e i) c.cur;
+          (match c.last_barrier with
+          | Some b -> Dag.add_edge dag b i
+          | None -> ());
+          c.last_barrier <- Some i;
+          c.cur <- []
+        | Pairwise_tso ->
+          let c = ctx tid in
+          List.iter (fun (j, _) -> Dag.add_edge dag j i) c.all;
+          c.all <- (i, None) :: c.all
+        | Chain_all -> ()))
     | Event.Label _ -> ()
   done;
   { n; dag; persists = List.rev !persists; reach = Hashtbl.create 64 }

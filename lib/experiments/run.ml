@@ -91,7 +91,7 @@ let default_capacity = 24
 let queue_params ?(design = Workloads.Queue.Cwl) ?(threads = 1)
     ?(total_inserts = default_total_inserts)
     ?(capacity_entries = default_capacity) ?(entry_size = 100) ?(seed = 42)
-    point =
+    ?(machine = Memsim.Machine.Sc) point =
   if total_inserts mod threads <> 0 then
     invalid_arg "Run.queue_params: total_inserts must divide by threads";
   { Workloads.Queue.design;
@@ -101,4 +101,5 @@ let queue_params ?(design = Workloads.Queue.Cwl) ?(threads = 1)
     entry_size;
     capacity_entries = max capacity_entries threads;
     seed;
-    policy = Memsim.Machine.Random seed }
+    policy = Memsim.Machine.Random seed;
+    machine }

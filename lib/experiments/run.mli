@@ -47,12 +47,13 @@ val queue_params :
   ?capacity_entries:int ->
   ?entry_size:int ->
   ?seed:int ->
+  ?machine:Memsim.Machine.model ->
   model_point ->
   Workloads.Queue.params
 (** Experiment defaults: CWL, 1 thread, 20_000 inserts total, 24-entry
     data segment (chosen to reproduce Figure 3's strand break-even; the
     paper does not state its segment size — see EXPERIMENTS.md),
-    100-byte entries, seeded random scheduling. *)
+    100-byte entries, seeded random scheduling, SC machine. *)
 
 val default_total_inserts : int
 val default_capacity : int

@@ -1,0 +1,516 @@
+module M = Memsim.Machine
+module P = Persistency
+
+(* ------------------------------------------------------------------ *)
+(* Program syntax                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type instr =
+  | St of string * int
+  | Ld of string * string
+  | Flush of string
+  | Clwb of string
+  | Sfence
+  | Mfence
+  | Pbarrier
+
+type obs =
+  | Reg of int * string
+  | Final of string
+  | Persisted of string
+
+type expect = {
+  allowed : string list;
+  forbidden : string list;
+}
+
+type test = {
+  name : string;
+  doc : string;
+  vars : string list;
+  threads : instr list list;
+  observe : obs list;
+  sc : expect;
+  tso : expect;
+}
+
+let obs_label = function
+  | Reg (t, r) -> Printf.sprintf "%d:%s" t r
+  | Final v -> v
+  | Persisted v -> v ^ "*"
+
+let render kvs =
+  String.concat " "
+    (List.map (fun (o, v) -> Printf.sprintf "%s=%d" (obs_label o) v) kvs)
+
+(* Expectation builders: [outcomes] is the cartesian product of the
+   given per-observable domains, rendered in [observe] order; [minus]
+   carves the forbidden set out of it. *)
+let outcomes (doms : (obs * int list) list) : string list =
+  let rec go = function
+    | [] -> [ [] ]
+    | (o, dom) :: rest ->
+      let tails = go rest in
+      List.concat_map (fun v -> List.map (fun t -> (o, v) :: t) tails) dom
+  in
+  List.map render (go doms)
+
+let minus all bad = List.filter (fun o -> not (List.mem o bad)) all
+
+let one (kvs : (obs * int) list) = render kvs
+
+let validate t =
+  if List.length t.vars > List.length (List.sort_uniq compare t.vars) then
+    invalid_arg (t.name ^ ": duplicate variable");
+  List.iter
+    (fun o ->
+      if List.mem o t.sc.allowed then
+        invalid_arg (t.name ^ ": SC forbidden outcome also allowed: " ^ o))
+    t.sc.forbidden;
+  List.iter
+    (fun o ->
+      if List.mem o t.tso.allowed then
+        invalid_arg (t.name ^ ": TSO forbidden outcome also allowed: " ^ o))
+    t.tso.forbidden;
+  (* SC executions are a subset of TSO executions: anything SC allows,
+     TSO must allow. *)
+  List.iter
+    (fun o ->
+      if not (List.mem o t.tso.allowed) then
+        invalid_arg (t.name ^ ": SC-allowed outcome missing under TSO: " ^ o))
+    t.sc.allowed
+
+(* ------------------------------------------------------------------ *)
+(* Running one interleaving                                            *)
+(* ------------------------------------------------------------------ *)
+
+let default_cfg =
+  P.Config.make ~coalescing:false ~record_graph:true P.Config.Epoch
+
+let exec_thread regs vaddr tid instrs () =
+  List.iter
+    (fun i ->
+      match i with
+      | St (v, value) -> M.store (vaddr v) (Int64.of_int value)
+      | Ld (v, r) ->
+        let x = M.load (vaddr v) in
+        Hashtbl.replace regs (tid, r) (Int64.to_int x)
+      | Flush v -> M.clflushopt (vaddr v)
+      | Clwb v -> M.clwb (vaddr v)
+      | Sfence -> M.sfence ()
+      | Mfence -> M.mfence ()
+      | Pbarrier -> M.persist_barrier ())
+    instrs
+
+(* Execute [t] under one schedule and return every outcome string the
+   schedule can justify: one per legal crash state when the test
+   observes persisted values, else exactly one. *)
+let run_one ?(cfg = default_cfg) ?(verify = false) ~model t policy =
+  let memory = Memsim.Memory.create ~persistent_capacity:1024 () in
+  let machine = M.create ~policy ~model ~memory () in
+  let engine = P.Engine.create cfg in
+  let trace = if verify then Some (Memsim.Trace.create ()) else None in
+  (match trace with
+  | None -> M.set_sink machine (P.Engine.observe engine)
+  | Some tr ->
+    let tsink = Memsim.Trace.sink tr in
+    M.set_sink machine (fun ev ->
+        tsink ev;
+        P.Engine.observe engine ev));
+  let addrs =
+    List.map
+      (fun v -> (v, Memsim.Memory.alloc memory Memsim.Addr.Persistent 8))
+      t.vars
+  in
+  let vaddr v = List.assoc v addrs in
+  let regs : (int * string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri
+    (fun tid instrs -> ignore (M.spawn machine (exec_thread regs vaddr tid instrs)))
+    t.threads;
+  M.run machine;
+  (match trace with
+  | Some tr ->
+    (match P.Oracle.verify_engine cfg tr with
+    | Ok () -> ()
+    | Error e -> failwith (t.name ^ ": engine disagrees with oracle: " ^ e))
+  | None -> ());
+  let volatile_value o =
+    match o with
+    | Reg (tid, r) -> (
+      match Hashtbl.find_opt regs (tid, r) with
+      | Some v -> v
+      | None -> failwith (t.name ^ ": register never written: " ^ obs_label o))
+    | Final v -> Int64.to_int (Memsim.Memory.load memory ~addr:(vaddr v) ~size:8)
+    | Persisted _ -> 0
+  in
+  let fixed = List.map (fun o -> (o, volatile_value o)) t.observe in
+  let has_persisted =
+    List.exists (function Persisted _ -> true | _ -> false) t.observe
+  in
+  if not has_persisted then [ render fixed ]
+  else begin
+    let graph = Option.get (P.Engine.graph engine) in
+    let capacity =
+      List.fold_left (fun m (_, a) -> max m (a + 8)) 8 addrs
+    in
+    let cuts = P.Observer.all_cuts graph in
+    List.map
+      (fun cut ->
+        let image = P.Observer.image_of_cut graph cut ~capacity in
+        render
+          (List.map
+             (fun (o, v) ->
+               match o with
+               | Persisted var ->
+                 (o, Int64.to_int (Bytes.get_int64_le image (vaddr var)))
+               | Reg _ | Final _ -> (o, v))
+             fixed))
+      cuts
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive checking                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type method_ = Brute | Dpor
+
+let method_name = function Brute -> "brute" | Dpor -> "dpor"
+let model_name = function M.Sc -> "sc" | M.Tso -> "tso"
+let expect_for t = function M.Sc -> t.sc | M.Tso -> t.tso
+
+type result = {
+  test : test;
+  model : M.model;
+  how : method_;
+  observed : string list;  (* sorted *)
+  missing : string list;  (* allowed but never observed *)
+  unexpected : string list;  (* observed but not allowed *)
+  forbidden_hit : string list;
+  schedules : int;
+  complete : bool;
+}
+
+let pass r =
+  r.complete && r.missing = [] && r.unexpected = [] && r.forbidden_hit = []
+
+let check ?cfg ?(verify = false) ?(how = Brute) ?(limit = 200_000) ~model t =
+  validate t;
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let record policy =
+    List.iter (fun o -> Hashtbl.replace seen o ()) (run_one ?cfg ~verify ~model t policy)
+  in
+  let schedules, complete =
+    match how with
+    | Brute ->
+      let o = Memsim.Explore.run_all ~limit record in
+      (o.Memsim.Explore.traces, o.Memsim.Explore.complete)
+    | Dpor ->
+      let s =
+        Check.Dpor.explore ~gran:8 ~max_schedules:limit
+          ~on_exec:(fun _ () -> Check.Dpor.Continue)
+          record
+      in
+      (s.Check.Dpor.schedules, s.Check.Dpor.complete)
+  in
+  let expect = expect_for t model in
+  let observed = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []) in
+  { test = t;
+    model;
+    how;
+    observed;
+    missing = List.filter (fun o -> not (Hashtbl.mem seen o)) expect.allowed;
+    unexpected = List.filter (fun o -> not (List.mem o expect.allowed)) observed;
+    forbidden_hit = List.filter (Hashtbl.mem seen) expect.forbidden;
+    schedules;
+    complete }
+
+(* ------------------------------------------------------------------ *)
+(* The suite                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let r0 = Reg (0, "r0")
+let r1_0 = Reg (0, "r1")
+let r0_1 = Reg (1, "r0")
+let r1 = Reg (1, "r1")
+
+(* --- volatile consistency shapes ---------------------------------- *)
+
+let sb =
+  let obs = [ Reg (0, "r0"); Reg (1, "r1") ] in
+  let all = outcomes [ (r0, [ 0; 1 ]); (r1, [ 0; 1 ]) ] in
+  let weak = one [ (r0, 0); (r1, 0) ] in
+  { name = "SB";
+    doc = "store buffering: both loads may miss both stores under TSO";
+    vars = [ "x"; "y" ];
+    threads = [ [ St ("x", 1); Ld ("y", "r0") ]; [ St ("y", 1); Ld ("x", "r1") ] ];
+    observe = obs;
+    sc = { allowed = minus all [ weak ]; forbidden = [ weak ] };
+    tso = { allowed = all; forbidden = [] } }
+
+let sb_mfence =
+  let all = outcomes [ (r0, [ 0; 1 ]); (r1, [ 0; 1 ]) ] in
+  let weak = one [ (r0, 0); (r1, 0) ] in
+  { name = "SB+mfence";
+    doc = "mfence between store and load restores SC for SB";
+    vars = [ "x"; "y" ];
+    threads =
+      [ [ St ("x", 1); Mfence; Ld ("y", "r0") ];
+        [ St ("y", 1); Mfence; Ld ("x", "r1") ] ];
+    observe = [ Reg (0, "r0"); Reg (1, "r1") ];
+    sc = { allowed = minus all [ weak ]; forbidden = [ weak ] };
+    tso = { allowed = minus all [ weak ]; forbidden = [ weak ] } }
+
+let sb_rfi =
+  (* store forwarding: each thread re-reads its own store (always sees
+     it, from the buffer under TSO), then reads the other variable *)
+  let obs = [ r0; r1_0; r0_1; r1 ] in
+  let sc_allowed =
+    [ one [ (r0, 1); (r1_0, 0); (r0_1, 1); (r1, 1) ];
+      one [ (r0, 1); (r1_0, 1); (r0_1, 1); (r1, 0) ];
+      one [ (r0, 1); (r1_0, 1); (r0_1, 1); (r1, 1) ] ]
+  in
+  let weak = one [ (r0, 1); (r1_0, 0); (r0_1, 1); (r1, 0) ] in
+  { name = "SB+rfi";
+    doc = "SB with read-own-write: forwarding satisfies the rfi reads";
+    vars = [ "x"; "y" ];
+    threads =
+      [ [ St ("x", 1); Ld ("x", "r0"); Ld ("y", "r1") ];
+        [ St ("y", 1); Ld ("y", "r0"); Ld ("x", "r1") ] ];
+    observe = obs;
+    sc = { allowed = sc_allowed; forbidden = [ weak ] };
+    tso =
+      { allowed = sc_allowed @ [ weak ];
+        forbidden =
+          [ (* forwarding can never miss the thread's own store *)
+            one [ (r0, 0); (r1_0, 0); (r0_1, 1); (r1, 0) ] ] } }
+
+let n6 =
+  (* Paul Loewenstein's n6: forwarding lets t0 read its own x=1 while
+     t1's x=2 lands after it in memory, yet y stays unread *)
+  let obs = [ r0; r1_0; Final "x" ] in
+  let sc_allowed =
+    [ one [ (r0, 1); (r1_0, 1); (Final "x", 1) ];
+      one [ (r0, 2); (r1_0, 1); (Final "x", 2) ];
+      one [ (r0, 1); (r1_0, 0); (Final "x", 2) ];
+      one [ (r0, 1); (r1_0, 1); (Final "x", 2) ] ]
+  in
+  let weak = one [ (r0, 1); (r1_0, 0); (Final "x", 1) ] in
+  { name = "n6";
+    doc = "forwarded read + final state: TSO-only outcome r0=1 r1=0 x=1";
+    vars = [ "x"; "y" ];
+    threads =
+      [ [ St ("x", 1); Ld ("x", "r0"); Ld ("y", "r1") ];
+        [ St ("y", 1); St ("x", 2) ] ];
+    observe = obs;
+    sc = { allowed = sc_allowed; forbidden = [ weak ] };
+    tso =
+      { allowed = sc_allowed @ [ weak ];
+        forbidden = [ one [ (r0, 2); (r1_0, 0); (Final "x", 2) ] ] } }
+
+let mp =
+  let all = outcomes [ (r0_1, [ 0; 1 ]); (r1, [ 0; 1 ]) ] in
+  let weak = one [ (r0_1, 1); (r1, 0) ] in
+  { name = "MP";
+    doc = "message passing: FIFO buffers keep TSO as strong as SC";
+    vars = [ "x"; "y" ];
+    threads =
+      [ [ St ("x", 1); St ("y", 1) ]; [ Ld ("y", "r0"); Ld ("x", "r1") ] ];
+    observe = [ r0_1; r1 ];
+    sc = { allowed = minus all [ weak ]; forbidden = [ weak ] };
+    tso = { allowed = minus all [ weak ]; forbidden = [ weak ] } }
+
+let lb =
+  let all = outcomes [ (r0, [ 0; 1 ]); (r0_1, [ 0; 1 ]) ] in
+  let weak = one [ (r0, 1); (r0_1, 1) ] in
+  { name = "LB";
+    doc = "load buffering: forbidden under SC and TSO alike";
+    vars = [ "x"; "y" ];
+    threads =
+      [ [ Ld ("y", "r0"); St ("x", 1) ]; [ Ld ("x", "r0"); St ("y", 1) ] ];
+    observe = [ r0; r0_1 ];
+    sc = { allowed = minus all [ weak ]; forbidden = [ weak ] };
+    tso = { allowed = minus all [ weak ]; forbidden = [ weak ] } }
+
+let w2plus2 =
+  let fx = Final "x" and fy = Final "y" in
+  let allowed =
+    [ one [ (fx, 1); (fy, 2) ]; one [ (fx, 2); (fy, 1) ]; one [ (fx, 2); (fy, 2) ] ]
+  in
+  let weak = one [ (fx, 1); (fy, 1) ] in
+  { name = "2+2W";
+    doc = "write serialization: x=1,y=1 needs both second stores first";
+    vars = [ "x"; "y" ];
+    threads =
+      [ [ St ("x", 1); St ("y", 2) ]; [ St ("y", 1); St ("x", 2) ] ];
+    observe = [ fx; fy ];
+    sc = { allowed; forbidden = [ weak ] };
+    tso = { allowed; forbidden = [ weak ] } }
+
+let corr =
+  let allowed =
+    [ one [ (r0_1, 0); (r1, 0) ];
+      one [ (r0_1, 0); (r1, 1) ];
+      one [ (r0_1, 0); (r1, 2) ];
+      one [ (r0_1, 1); (r1, 1) ];
+      one [ (r0_1, 1); (r1, 2) ];
+      one [ (r0_1, 2); (r1, 2) ] ]
+  in
+  { name = "CoRR";
+    doc = "coherent read-read: same-address loads never see regress";
+    vars = [ "x" ];
+    threads =
+      [ [ St ("x", 1); St ("x", 2) ]; [ Ld ("x", "r0"); Ld ("x", "r1") ] ];
+    observe = [ r0_1; r1 ];
+    sc = { allowed; forbidden = [ one [ (r0_1, 2); (r1, 1) ] ] };
+    tso = { allowed; forbidden = [ one [ (r0_1, 2); (r1, 1) ] ] } }
+
+(* --- persist-order shapes (epoch engine, coalescing off) ----------- *)
+
+let px = Persisted "x"
+let py = Persisted "y"
+
+let all_persist = outcomes [ (px, [ 0; 1 ]); (py, [ 0; 1 ]) ]
+let persist_ordered =
+  (* y persisted implies x persisted *)
+  minus all_persist [ one [ (px, 0); (py, 1) ] ]
+
+let persist_unordered =
+  { name = "persist-unordered";
+    doc = "two stores, no barrier: any subset may be durable at a crash";
+    vars = [ "x"; "y" ];
+    threads = [ [ St ("x", 1); St ("y", 1) ] ];
+    observe = [ px; py ];
+    sc = { allowed = all_persist; forbidden = [] };
+    tso = { allowed = all_persist; forbidden = [] } }
+
+let flush_sfence =
+  { name = "flush+sfence";
+    doc = "clflushopt x; sfence orders x's persist before the next store";
+    vars = [ "x"; "y" ];
+    threads = [ [ St ("x", 1); Flush "x"; Sfence; St ("y", 1) ] ];
+    observe = [ px; py ];
+    sc = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] };
+    tso = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] } }
+
+let flush_no_sfence =
+  { name = "flush-no-sfence";
+    doc = "clflushopt without a fence orders nothing";
+    vars = [ "x"; "y" ];
+    threads = [ [ St ("x", 1); Flush "x"; St ("y", 1) ] ];
+    observe = [ px; py ];
+    sc = { allowed = all_persist; forbidden = [] };
+    tso = { allowed = all_persist; forbidden = [] } }
+
+let clwb_sfence =
+  { name = "clwb+sfence";
+    doc = "clwb has the same ordering power as clflushopt";
+    vars = [ "x"; "y" ];
+    threads = [ [ St ("x", 1); Clwb "x"; Sfence; St ("y", 1) ] ];
+    observe = [ px; py ];
+    sc = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] };
+    tso = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] } }
+
+let sfence_no_flush =
+  { name = "sfence-no-flush";
+    doc = "a fence with no preceding flush constrains no persist";
+    vars = [ "x"; "y" ];
+    threads = [ [ St ("x", 1); Sfence; St ("y", 1) ] ];
+    observe = [ px; py ];
+    sc = { allowed = all_persist; forbidden = [] };
+    tso = { allowed = all_persist; forbidden = [] } }
+
+let pbarrier_order =
+  { name = "pbarrier-order";
+    doc = "the paper's persist barrier subsumes flush+sfence";
+    vars = [ "x"; "y" ];
+    threads = [ [ St ("x", 1); Pbarrier; St ("y", 1) ] ];
+    observe = [ px; py ];
+    sc = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] };
+    tso = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] } }
+
+let coherence_persist =
+  { name = "coherence-persist";
+    doc = "same-block stores persist in order (coalescing disabled)";
+    vars = [ "x" ];
+    threads = [ [ St ("x", 1); St ("x", 2) ] ];
+    observe = [ px ];
+    sc =
+      { allowed = [ one [ (px, 0) ]; one [ (px, 1) ]; one [ (px, 2) ] ];
+        forbidden = [] };
+    tso =
+      { allowed = [ one [ (px, 0) ]; one [ (px, 1) ]; one [ (px, 2) ] ];
+        forbidden = [] } }
+
+let cross_thread_flush =
+  (* t1 flushes a line t0 wrote; having read x=1, its flush+sfence
+     pushes t0's store to durability before t1's own y=1 *)
+  let weak = one [ (r0_1, 1); (px, 0); (py, 1) ] in
+  let allowed =
+    minus (outcomes [ (r0_1, [ 0; 1 ]); (px, [ 0; 1 ]); (py, [ 0; 1 ]) ]) [ weak ]
+  in
+  { name = "cross-thread-flush";
+    doc = "flushing another thread's dirty line orders its persist";
+    vars = [ "x"; "y" ];
+    threads =
+      [ [ St ("x", 1) ];
+        [ Ld ("x", "r0"); Flush "x"; Sfence; St ("y", 1) ] ];
+    observe = [ r0_1; px; py ];
+    sc = { allowed; forbidden = [ weak ] };
+    tso = { allowed; forbidden = [ weak ] } }
+
+let mp_flush_sfence =
+  (* durable message passing: writer flushes the payload before
+     publishing; volatile MP plus persist ordering hold together *)
+  let vol =
+    minus
+      (outcomes [ (r0_1, [ 0; 1 ]); (r1, [ 0; 1 ]) ])
+      [ one [ (r0_1, 1); (r1, 0) ] ]
+  in
+  let allowed =
+    List.concat_map
+      (fun v -> List.map (fun p -> v ^ " " ^ p) persist_ordered)
+      vol
+  in
+  { name = "MP+flush+sfence";
+    doc = "durable message passing: payload persists before the flag";
+    vars = [ "x"; "y" ];
+    threads =
+      [ [ St ("x", 1); Flush "x"; Sfence; St ("y", 1) ];
+        [ Ld ("y", "r0"); Ld ("x", "r1") ] ];
+    observe = [ r0_1; r1; px; py ];
+    sc =
+      { allowed;
+        forbidden =
+          [ one [ (r0_1, 1); (r1, 0); (px, 1); (py, 1) ];
+            one [ (r0_1, 0); (r1, 0); (px, 0); (py, 1) ] ] };
+    tso =
+      { allowed;
+        forbidden =
+          [ one [ (r0_1, 1); (r1, 0); (px, 1); (py, 1) ];
+            one [ (r0_1, 0); (r1, 0); (px, 0); (py, 1) ] ] } }
+
+let suite =
+  [ sb;
+    sb_mfence;
+    sb_rfi;
+    n6;
+    mp;
+    lb;
+    w2plus2;
+    corr;
+    persist_unordered;
+    flush_sfence;
+    flush_no_sfence;
+    clwb_sfence;
+    sfence_no_flush;
+    pbarrier_order;
+    coherence_persist;
+    cross_thread_flush;
+    mp_flush_sfence ]
+
+let find name = List.find_opt (fun t -> t.name = name) suite
+
+(* Tests whose TSO allowed set strictly contains the SC one: the
+   witnesses that the machine actually weakens the memory model. *)
+let tso_weaker t =
+  List.exists (fun o -> not (List.mem o t.sc.allowed)) t.tso.allowed

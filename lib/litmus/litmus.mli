@@ -1,0 +1,134 @@
+(** Litmus tests: small fixed programs with exhaustively-checked
+    outcome sets, under both machine consistency models
+    ({!Memsim.Machine.model}) and the epoch persistency engine.
+
+    Each test declares the exact set of allowed outcomes — an outcome
+    combines final register values, final memory values, and {e
+    persisted} values (the value a variable holds in a legal crash
+    state, via the recovery observer) — separately for SC and TSO.
+    {!check} explores every interleaving (brute-force or DPOR), for TSO
+    including every store-buffer drain interleaving, collects the
+    observed outcome set and compares it against the declaration in
+    both directions: every allowed outcome must be observed, nothing
+    outside the allowed set may appear, and no declared-forbidden
+    outcome may show up.  The classic x86 shapes (SB, MP, LB, 2+2W,
+    CoRR, n6, ...) and Px86 persist-order shapes (clflushopt/clwb +
+    sfence) are in {!suite}. *)
+
+type instr =
+  | St of string * int  (** store constant to variable *)
+  | Ld of string * string  (** load variable into register *)
+  | Flush of string  (** clflushopt the variable's line *)
+  | Clwb of string
+  | Sfence
+  | Mfence
+  | Pbarrier  (** the paper's persist barrier *)
+
+type obs =
+  | Reg of int * string  (** register [r] of thread [t], shown [t:r] *)
+  | Final of string  (** variable's final memory value, shown [v] *)
+  | Persisted of string
+      (** variable's value in a legal crash state, shown [v*]; a test
+          observing persisted values yields one outcome per legal cut
+          of each explored trace's persist graph *)
+
+type expect = {
+  allowed : string list;  (** exactly the reachable outcomes *)
+  forbidden : string list;
+      (** notable impossible outcomes, asserted never observed (must
+          be disjoint from [allowed]) *)
+}
+
+type test = {
+  name : string;
+  doc : string;
+  vars : string list;  (** 8-byte persistent variables, zero-initialized *)
+  threads : instr list list;  (** thread [i] gets machine tid [i] *)
+  observe : obs list;  (** outcome rendering order *)
+  sc : expect;
+  tso : expect;
+}
+
+val suite : test list
+(** The built-in programs (≥15). *)
+
+val find : string -> test option
+
+val tso_weaker : test -> bool
+(** True when the test's TSO allowed set strictly contains its SC set —
+    the witnesses that TSO actually weakens the model. *)
+
+val obs_label : obs -> string
+val one : (obs * int) list -> string
+(** Render an outcome, e.g. [one [(Reg (0, "r0"), 1)]] = ["0:r0=1"]. *)
+
+val outcomes : (obs * int list) list -> string list
+(** Cartesian product of per-observable domains. *)
+
+val minus : string list -> string list -> string list
+
+val validate : test -> unit
+(** @raise Invalid_argument on duplicate variables, overlapping
+    allowed/forbidden sets, or an SC-allowed outcome missing from the
+    TSO allowed set (SC executions are TSO executions). *)
+
+val exec_thread :
+  (int * string, int) Hashtbl.t ->
+  (string -> int) ->
+  int ->
+  instr list ->
+  unit ->
+  unit
+(** [exec_thread regs var_addr tid instrs] is the thread body a litmus
+    thread runs: each instruction becomes the corresponding machine
+    operation, loads landing in [regs] under key [(tid, reg)].  Exposed
+    so generated programs (fuzzing) can reuse the interpreter. *)
+
+val default_cfg : Persistency.Config.t
+(** Epoch mode, 8-byte granularities, coalescing off, graph recording
+    on — the engine configuration used to judge persisted values. *)
+
+val run_one :
+  ?cfg:Persistency.Config.t ->
+  ?verify:bool ->
+  model:Memsim.Machine.model ->
+  test ->
+  Memsim.Machine.policy ->
+  string list
+(** Execute the test once under the given scheduling policy; returns
+    the outcome(s) that execution justifies (one per legal crash state
+    when persisted values are observed).  [verify] additionally records
+    the trace and cross-checks the engine's persist graph against
+    {!Persistency.Oracle.verify_engine}, failing loudly on divergence. *)
+
+type method_ = Brute | Dpor
+
+val method_name : method_ -> string
+val model_name : Memsim.Machine.model -> string
+
+type result = {
+  test : test;
+  model : Memsim.Machine.model;
+  how : method_;
+  observed : string list;  (** sorted observed outcome set *)
+  missing : string list;  (** declared allowed, never observed *)
+  unexpected : string list;  (** observed, not declared allowed *)
+  forbidden_hit : string list;  (** declared forbidden, observed *)
+  schedules : int;  (** executions (brute: interleavings; DPOR: schedules) *)
+  complete : bool;  (** exploration finished within the limit *)
+}
+
+val pass : result -> bool
+(** Complete, nothing missing, nothing unexpected, no forbidden hit. *)
+
+val check :
+  ?cfg:Persistency.Config.t ->
+  ?verify:bool ->
+  ?how:method_ ->
+  ?limit:int ->
+  model:Memsim.Machine.model ->
+  test ->
+  result
+(** Exhaustively explore the test under [model] (default [how] is
+    [Brute], default [limit] 200_000 executions) and judge the observed
+    outcome set against the test's expectation for that model. *)

@@ -3,6 +3,14 @@ type kind =
   | Store
   | Rmw
 
+type flush_kind =
+  | Clflushopt
+  | Clwb
+
+type fence_kind =
+  | Sfence
+  | Mfence
+
 type access = {
   tid : int;
   addr : int;
@@ -16,19 +24,34 @@ type t =
   | Persist_barrier of int
   | New_strand of int
   | Label of int * string
+  | Flush of { tid : int; kind : flush_kind; addr : int }
+  | Fence of { tid : int; kind : fence_kind }
 
 let tid = function
   | Access (_, a) -> a.tid
   | Persist_barrier tid | New_strand tid | Label (tid, _) -> tid
+  | Flush { tid; _ } | Fence { tid; _ } -> tid
 
 let is_persist = function
   | Access ((Store | Rmw), a) -> Addr.equal_space a.space Addr.Persistent
-  | Access (Load, _) | Persist_barrier _ | New_strand _ | Label _ -> false
+  | Access (Load, _) | Persist_barrier _ | New_strand _ | Label _ | Flush _
+  | Fence _ ->
+    false
 
 let equal_kind a b =
   match a, b with
   | Load, Load | Store, Store | Rmw, Rmw -> true
   | (Load | Store | Rmw), _ -> false
+
+let equal_flush_kind a b =
+  match a, b with
+  | Clflushopt, Clflushopt | Clwb, Clwb -> true
+  | (Clflushopt | Clwb), _ -> false
+
+let equal_fence_kind a b =
+  match a, b with
+  | Sfence, Sfence | Mfence, Mfence -> true
+  | (Sfence | Mfence), _ -> false
 
 let equal a b =
   match a, b with
@@ -40,7 +63,12 @@ let equal a b =
   | Persist_barrier t1, Persist_barrier t2 -> t1 = t2
   | New_strand t1, New_strand t2 -> t1 = t2
   | Label (t1, s1), Label (t2, s2) -> t1 = t2 && String.equal s1 s2
-  | (Access _ | Persist_barrier _ | New_strand _ | Label _), _ -> false
+  | Flush f1, Flush f2 ->
+    f1.tid = f2.tid && equal_flush_kind f1.kind f2.kind && f1.addr = f2.addr
+  | Fence f1, Fence f2 -> f1.tid = f2.tid && equal_fence_kind f1.kind f2.kind
+  | (Access _ | Persist_barrier _ | New_strand _ | Label _ | Flush _ | Fence _),
+    _ ->
+    false
 
 let kind_name = function
   | Load -> "ld"
@@ -53,6 +81,14 @@ let kind_of_name = function
   | "rmw" -> Rmw
   | s -> failwith ("Event.kind_of_name: " ^ s)
 
+let flush_name = function
+  | Clflushopt -> "clflushopt"
+  | Clwb -> "clwb"
+
+let fence_name = function
+  | Sfence -> "sfence"
+  | Mfence -> "mfence"
+
 let pp ppf = function
   | Access (k, a) ->
     Format.fprintf ppf "@[t%d %s %a/%d = %Ld@]" a.tid (kind_name k) Addr.pp
@@ -60,6 +96,9 @@ let pp ppf = function
   | Persist_barrier tid -> Format.fprintf ppf "t%d pbarrier" tid
   | New_strand tid -> Format.fprintf ppf "t%d newstrand" tid
   | Label (tid, s) -> Format.fprintf ppf "t%d label %s" tid s
+  | Flush { tid; kind; addr } ->
+    Format.fprintf ppf "t%d %s %a" tid (flush_name kind) Addr.pp addr
+  | Fence { tid; kind } -> Format.fprintf ppf "t%d %s" tid (fence_name kind)
 
 let to_string = function
   | Access (k, a) ->
@@ -67,6 +106,9 @@ let to_string = function
   | Persist_barrier tid -> Printf.sprintf "pb %d" tid
   | New_strand tid -> Printf.sprintf "ns %d" tid
   | Label (tid, s) -> Printf.sprintf "lb %d %s" tid s
+  | Flush { tid; kind; addr } ->
+    Printf.sprintf "fl %s %d %d" (flush_name kind) tid addr
+  | Fence { tid; kind } -> Printf.sprintf "fe %s %d" (fence_name kind) tid
 
 let of_string line =
   match String.split_on_char ' ' line with
@@ -83,4 +125,20 @@ let of_string line =
   | [ "ns"; tid ] -> New_strand (int_of_string tid)
   | "lb" :: tid :: rest ->
     Label (int_of_string tid, String.concat " " rest)
+  | [ "fl"; kind; tid; addr ] ->
+    let kind =
+      match kind with
+      | "clflushopt" -> Clflushopt
+      | "clwb" -> Clwb
+      | s -> failwith ("Event.of_string: bad flush kind: " ^ s)
+    in
+    Flush { tid = int_of_string tid; kind; addr = int_of_string addr }
+  | [ "fe"; kind; tid ] ->
+    let kind =
+      match kind with
+      | "sfence" -> Sfence
+      | "mfence" -> Mfence
+      | s -> failwith ("Event.of_string: bad fence kind: " ^ s)
+    in
+    Fence { tid = int_of_string tid; kind }
   | _ -> failwith ("Event.of_string: malformed line: " ^ line)

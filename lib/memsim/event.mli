@@ -15,6 +15,14 @@ type kind =
   | Store
   | Rmw  (** atomic read-modify-write: conflicts as both load and store *)
 
+type flush_kind =
+  | Clflushopt  (** flush the line from the cache hierarchy *)
+  | Clwb  (** write the line back, may retain it *)
+
+type fence_kind =
+  | Sfence
+  | Mfence
+
 type access = {
   tid : int;
   addr : int;
@@ -30,6 +38,13 @@ type t =
   | Label of int * string
       (** logical operation boundary (e.g. the start of a queue
           insert); carries no ordering semantics *)
+  | Flush of { tid : int; kind : flush_kind; addr : int }
+      (** [clflushopt]/[clwb] of the cache line holding [addr]: asks
+          that the line's current contents reach persistence; ordered
+          only by a following fence (Px86 semantics) *)
+  | Fence of { tid : int; kind : fence_kind }
+      (** [sfence]/[mfence]: orders earlier flushes (and, on a TSO
+          machine, drains the store buffer) before later accesses *)
 
 val tid : t -> int
 val is_persist : t -> bool

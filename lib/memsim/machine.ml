@@ -1,5 +1,16 @@
 open Effect
 open Effect.Deep
+module Om = Obs.Metrics
+
+(* Store-buffer instrumentation (lib/obs): no-ops while the default
+   registry is disabled. *)
+let m_drains = Om.counter Om.default "machine.store_buffer_drains"
+let m_flushes = Om.counter Om.default "machine.flushes"
+let m_fences = Om.counter Om.default "machine.fences"
+
+let m_occupancy =
+  Om.histogram Om.default ~buckets:(Om.pow2_buckets 7)
+    "machine.store_buffer_occupancy"
 
 type script = {
   mutable forced : int list;
@@ -32,6 +43,19 @@ type policy =
   | Scripted of script
   | Guided of guide
 
+type model =
+  | Sc
+  | Tso
+
+(* Buffer-drain steps are scheduling decisions attributed to a
+   pseudo-thread derived from the buffering thread's id, so guides
+   (DPOR) can distinguish "thread t runs its next operation" from
+   "thread t's store buffer drains one entry". *)
+let drain_tid_base = 1 lsl 16
+let drain_tid tid = drain_tid_base + tid
+let is_drain_tid tid = tid >= drain_tid_base
+let drain_parent tid = tid - drain_tid_base
+
 exception Deadlock of int list
 
 (* A parked continuation waiting for a lock hand-off. *)
@@ -56,13 +80,35 @@ type _ op =
   | Yield : unit op
   | Lock_op : lock -> unit op
   | Unlock_op : lock -> unit op
+  | Flush_op : { kind : Event.flush_kind; addr : int } -> unit op
+  | Fence_op : Event.fence_kind -> unit op
 
 type _ Effect.t += E : 'a op -> 'a Effect.t
 
 (* Runnable entry: thread id, the static footprint of its pending
    operation (None when the step touches no shared location — thread
-   starts, lock-grant resumptions, yields), and the thunk. *)
-type entry = int * access option * (unit -> unit)
+   starts, lock-grant resumptions, yields), whether the operation
+   requires the thread's store buffer to be empty first (TSO locked
+   instructions and fences), and the thunk. *)
+type entry = {
+  tid : int;
+  next : access option;
+  drains : bool;
+  thunk : unit -> unit;
+}
+
+(* One FIFO store buffer (TSO).  [bytes] indexes the buffered bytes for
+   load forwarding: newest buffered value of each byte plus how many
+   buffered stores cover it, so draining keeps the newest value visible
+   until the last covering store leaves the buffer. *)
+type sb_entry =
+  | Sb_store of { addr : int; size : int; value : int64; space : Addr.space }
+  | Sb_flush of { kind : Event.flush_kind; addr : int }
+
+type buffer = {
+  fifo : sb_entry Queue.t;
+  bytes : (int, int * int) Hashtbl.t;  (* byte addr -> (value, count) *)
+}
 
 type runq =
   | Fifo of entry Queue.t
@@ -73,6 +119,8 @@ type runq =
 type t = {
   mem : Memory.t;
   runq : runq;
+  model : model;
+  buffers : (int, buffer) Hashtbl.t;  (* tid -> store buffer (TSO) *)
   mutable sink : Event.t -> unit;
   mutable next_tid : int;
   mutable events : int;
@@ -81,7 +129,7 @@ type t = {
                                       step, newest first (Guided only) *)
 }
 
-let create ?(policy = Round_robin) ~memory () =
+let create ?(policy = Round_robin) ?(model = Sc) ~memory () =
   let runq =
     match policy with
     | Round_robin -> Fifo (Queue.create ())
@@ -91,6 +139,8 @@ let create ?(policy = Round_robin) ~memory () =
   in
   { mem = memory;
     runq;
+    model;
+    buffers = Hashtbl.create 8;
     sink = ignore;
     next_tid = 0;
     events = 0;
@@ -98,6 +148,7 @@ let create ?(policy = Round_robin) ~memory () =
     step_log = [] }
 
 let memory t = t.mem
+let model t = t.model
 let set_sink t sink = t.sink <- sink
 let event_count t = t.events
 
@@ -108,56 +159,11 @@ let guided t =
 
 let note_access t acc = if guided t then t.step_log <- acc :: t.step_log
 
-let schedule t tid next thunk =
+let schedule ?(drains = false) t tid next thunk =
+  let e = { tid; next; drains; thunk } in
   match t.runq with
-  | Fifo q -> Queue.push (tid, next, thunk) q
-  | Bag (v, _) | Script_bag (v, _) | Guided_bag (v, _) ->
-    Vec.push v (tid, next, thunk)
-
-let take_runnable t =
-  match t.runq with
-  | Fifo q -> Queue.take_opt q
-  | Bag (v, rng) ->
-    if Vec.is_empty v then None
-    else Some (Vec.swap_remove v (Random.State.int rng (Vec.length v)))
-  | Script_bag (v, s) ->
-    if Vec.is_empty v then None
-    else begin
-      let n = Vec.length v in
-      let idx =
-        match s.forced with
-        | i :: rest ->
-          s.forced <- rest;
-          if i < 0 || i >= n then
-            invalid_arg "Machine: script choice out of range";
-          i
-        | [] -> 0
-      in
-      s.log <- (idx, n) :: s.log;
-      Some (Vec.swap_remove v idx)
-    end
-  | Guided_bag (v, g) ->
-    if Vec.is_empty v then None
-    else begin
-      let n = Vec.length v in
-      let infos =
-        Array.init n (fun i ->
-            let tid, next, _ = Vec.get v i in
-            { tid; index = i; next })
-      in
-      Array.sort (fun a b -> compare a.tid b.tid) infos;
-      let tid = g.choose infos in
-      let idx = ref (-1) in
-      for i = 0 to n - 1 do
-        let t', _, _ = Vec.get v i in
-        if t' = tid && !idx < 0 then idx := i
-      done;
-      if !idx < 0 then
-        invalid_arg
-          (Printf.sprintf "Machine: guide chose tid %d, which is not runnable"
-             tid);
-      Some (Vec.swap_remove v !idx)
-    end
+  | Fifo q -> Queue.push e q
+  | Bag (v, _) | Script_bag (v, _) | Guided_bag (v, _) -> Vec.push v e
 
 let emit t ev =
   t.events <- t.events + 1;
@@ -167,10 +173,118 @@ let emit t ev =
        t.step_log <-
          { addr = a.addr; size = a.size; write = k <> Event.Load }
          :: t.step_log
-     | Event.Persist_barrier _ | Event.New_strand _ | Event.Label _ -> ());
+     | Event.Flush { addr; _ } ->
+       (* a flush reads the line's contents: it conflicts with stores to
+          the line but not with loads or other flushes *)
+       t.step_log <- { addr; size = 8; write = false } :: t.step_log
+     | Event.Persist_barrier _ | Event.New_strand _ | Event.Label _
+     | Event.Fence _ ->
+       ());
   t.sink ev
 
 let emit_meta t ev = t.sink ev
+
+(* Store-buffer plumbing (TSO).  Stores and flushes issue into the
+   calling thread's buffer without an event; the event is emitted when
+   the entry drains, so trace order = drain order = the order in which
+   stores become visible to other threads and to the persistency
+   engine. *)
+
+let buffer t tid =
+  match Hashtbl.find_opt t.buffers tid with
+  | Some b -> b
+  | None ->
+    let b = { fifo = Queue.create (); bytes = Hashtbl.create 16 } in
+    Hashtbl.add t.buffers tid b;
+    b
+
+let buffer_nonempty t tid =
+  match Hashtbl.find_opt t.buffers tid with
+  | Some b -> not (Queue.is_empty b.fifo)
+  | None -> false
+
+let push_store t tid ~addr ~size ~value =
+  let buf = buffer t tid in
+  Queue.push (Sb_store { addr; size; value; space = Addr.space_of addr })
+    buf.fifo;
+  for i = 0 to size - 1 do
+    let byte =
+      Int64.to_int (Int64.logand (Int64.shift_right_logical value (8 * i)) 0xFFL)
+    in
+    let count =
+      match Hashtbl.find_opt buf.bytes (addr + i) with
+      | Some (_, n) -> n
+      | None -> 0
+    in
+    Hashtbl.replace buf.bytes (addr + i) (byte, count + 1)
+  done;
+  Om.observe m_occupancy (float_of_int (Queue.length buf.fifo))
+
+let push_flush t tid ~kind ~addr =
+  let buf = buffer t tid in
+  Queue.push (Sb_flush { kind; addr }) buf.fifo;
+  Om.observe m_occupancy (float_of_int (Queue.length buf.fifo))
+
+(* Static footprint of the oldest buffered entry: what the next drain
+   step of this thread will touch. *)
+let drain_footprint t tid =
+  match Hashtbl.find_opt t.buffers tid with
+  | None -> None
+  | Some buf ->
+    (match Queue.peek_opt buf.fifo with
+    | None -> None
+    | Some (Sb_store { addr; size; _ }) -> Some { addr; size; write = true }
+    | Some (Sb_flush { addr; _ }) -> Some { addr; size = 8; write = false })
+
+(* Drain the oldest entry of [tid]'s buffer: apply the store to memory
+   (or emit the flush) and emit the event — this is the point where the
+   write enters the global memory order. *)
+let drain_one t tid =
+  let buf = Hashtbl.find t.buffers tid in
+  match Queue.take buf.fifo with
+  | Sb_store { addr; size; value; space } ->
+    for i = 0 to size - 1 do
+      (match Hashtbl.find_opt buf.bytes (addr + i) with
+      | Some (_, 1) -> Hashtbl.remove buf.bytes (addr + i)
+      | Some (v, n) -> Hashtbl.replace buf.bytes (addr + i) (v, n - 1)
+      | None -> assert false)
+    done;
+    Memory.store t.mem ~addr ~size value;
+    Om.incr m_drains;
+    emit t (Event.Access (Event.Store, { tid; addr; size; value; space }))
+  | Sb_flush { kind; addr } ->
+    Om.incr m_drains;
+    Om.incr m_flushes;
+    emit t (Event.Flush { tid; kind; addr })
+
+let drain_all t tid =
+  while buffer_nonempty t tid do
+    drain_one t tid
+  done
+
+(* Load forwarding: a TSO load reads memory, then overlays any bytes
+   the calling thread still has buffered (its own newest values). *)
+let load_forwarded t tid ~addr ~size =
+  let v = Memory.load t.mem ~addr ~size in
+  match Hashtbl.find_opt t.buffers tid with
+  | None -> v
+  | Some buf ->
+    if Hashtbl.length buf.bytes = 0 then v
+    else begin
+      let v = ref v in
+      for i = 0 to size - 1 do
+        match Hashtbl.find_opt buf.bytes (addr + i) with
+        | Some (byte, _) ->
+          let shift = 8 * i in
+          let mask = Int64.shift_left 0xFFL shift in
+          v :=
+            Int64.logor
+              (Int64.logand !v (Int64.lognot mask))
+              (Int64.shift_left (Int64.of_int byte) shift)
+        | None -> ()
+      done;
+      !v
+    end
 
 (* Grant [l] to [tid]: update the lock word and emit the acquire RMW
    event that makes the acquisition visible to conflict analyses. *)
@@ -187,7 +301,11 @@ let exec : type a. t -> int -> a op -> a =
   match op with
   | Self -> tid
   | Load { addr; size } ->
-    let value = Memory.load t.mem ~addr ~size in
+    let value =
+      match t.model with
+      | Sc -> Memory.load t.mem ~addr ~size
+      | Tso -> load_forwarded t tid ~addr ~size
+    in
     emit t
       (Event.Access
          (Event.Load, { tid; addr; size; value; space = Addr.space_of addr }));
@@ -218,6 +336,14 @@ let exec : type a. t -> int -> a op -> a =
   | Malloc { space; size } -> Memory.alloc t.mem space size
   | Free addr -> Memory.free t.mem addr
   | Yield -> ()
+  | Flush_op { kind; addr } ->
+    Om.incr m_flushes;
+    emit t (Event.Flush { tid; kind; addr });
+    ()
+  | Fence_op kind ->
+    Om.incr m_fences;
+    emit_meta t (Event.Fence { tid; kind });
+    ()
   | Lock_op _ -> assert false  (* handled in [dispatch] *)
   | Unlock_op l ->
     (match l.owner with
@@ -250,14 +376,19 @@ let static_footprint : type a. a op -> access option = function
   | Rmw { addr; _ } -> Some { addr; size = 8; write = true }
   | Lock_op l -> Some { addr = l.word; size = 8; write = true }
   | Unlock_op l -> Some { addr = l.word; size = 8; write = true }
+  | Flush_op { addr; _ } -> Some { addr; size = 8; write = false }
   | Self | Yield -> None
+  | Fence_op _ -> None
   | Persist_barrier | New_strand | Label _ | Malloc _ | Free _ -> None
 
 let dispatch : type a. t -> int -> a op -> (a, unit) continuation -> unit =
  fun t tid op k ->
+  let tso = t.model = Tso in
   match op with
   | Lock_op l ->
-    schedule t tid (static_footprint op) (fun () ->
+    (* under TSO the acquire is a locked instruction: it waits for the
+       thread's own buffer to drain first *)
+    schedule ~drains:tso t tid (static_footprint op) (fun () ->
         match l.owner with
         | None ->
           grant t tid l;
@@ -276,9 +407,36 @@ let dispatch : type a. t -> int -> a op -> (a, unit) continuation -> unit =
      executing them inline is a sound partial-order reduction — it
      keeps systematic exploration (Explore, Check.Dpor) over memory
      accesses only. *)
-  | Persist_barrier | New_strand | Label _ | Malloc _ | Free _ ->
+  | New_strand | Label _ | Malloc _ | Free _ ->
     continue k (exec t tid op)
-  | Self | Load _ | Store _ | Rmw _ | Yield | Unlock_op _ ->
+  | Store { addr; size; value } when tso ->
+    (* a TSO store issues into the thread's private buffer: invisible
+       to other threads until it drains, so issuing inline (no
+       scheduling point, no event) is the same partial-order reduction
+       — the drain step is where the interleaving choice lives *)
+    push_store t tid ~addr ~size ~value;
+    continue k ()
+  | Flush_op { kind; addr } when tso ->
+    (* clflushopt/clwb enter the store buffer like stores.  (FIFO
+       draining makes them slightly stronger than real clflushopt,
+       which may overtake earlier stores to other lines; the fence
+       semantics the analyses rely on are unaffected.) *)
+    push_flush t tid ~kind ~addr;
+    continue k ()
+  | Persist_barrier ->
+    if tso then
+      (* mfence-like: wait for the buffer, then mark the epoch *)
+      schedule ~drains:true t tid None (fun () -> continue k (exec t tid op))
+    else continue k (exec t tid op)
+  | Fence_op _ ->
+    if tso then
+      schedule ~drains:true t tid None (fun () -> continue k (exec t tid op))
+    else continue k (exec t tid op)
+  | Rmw _ | Unlock_op _ ->
+    (* locked instruction / write-through release: drains first (TSO) *)
+    schedule ~drains:tso t tid (static_footprint op) (fun () ->
+        continue k (exec t tid op))
+  | Self | Load _ | Store _ | Flush_op _ | Yield ->
     schedule t tid (static_footprint op) (fun () -> continue k (exec t tid op))
 
 let spawn t body =
@@ -298,16 +456,132 @@ let spawn t body =
   schedule t tid None start;
   tid
 
+(* A scheduling choice: run a thread's next operation, or drain the
+   oldest store-buffer entry of a thread.  Thread entries whose
+   operation needs an empty buffer ([drains]) are withheld from the
+   choice set while their buffer is non-empty — their drain agent is
+   offered instead, so every chosen step performs at most one shared
+   access (what DPOR's footprints assume). *)
+type pick =
+  | Pick_entry of int  (* index into the bag *)
+  | Pick_drain of int  (* tid whose buffer drains one entry *)
+
+type step = {
+  eff_tid : int;  (* drain pseudo-tid for drain steps *)
+  exec_step : unit -> unit;
+}
+
+let picks t v =
+  let ps = Vec.create () in
+  for i = 0 to Vec.length v - 1 do
+    let e = Vec.get v i in
+    if not (e.drains && buffer_nonempty t e.tid) then Vec.push ps (Pick_entry i)
+  done;
+  for tid = 0 to t.next_tid - 1 do
+    if buffer_nonempty t tid then Vec.push ps (Pick_drain tid)
+  done;
+  ps
+
+let step_of_pick t v = function
+  | Pick_entry i ->
+    let e = Vec.get v i in
+    { eff_tid = e.tid;
+      exec_step =
+        (fun () ->
+          ignore (Vec.swap_remove v i);
+          e.thunk ()) }
+  | Pick_drain tid ->
+    { eff_tid = drain_tid tid; exec_step = (fun () -> drain_one t tid) }
+
+(* Fifo (round-robin) keeps its deterministic shape under TSO: a
+   drain-requiring operation first drains its own buffer in place, and
+   leftover buffers drain in tid order once the run queue empties. *)
+let take_runnable t =
+  match t.runq with
+  | Fifo q ->
+    (match Queue.take_opt q with
+    | Some e ->
+      Some
+        { eff_tid = e.tid;
+          exec_step =
+            (fun () ->
+              if e.drains then drain_all t e.tid;
+              e.thunk ()) }
+    | None ->
+      let rec first tid =
+        if tid >= t.next_tid then None
+        else if buffer_nonempty t tid then
+          Some
+            { eff_tid = drain_tid tid;
+              exec_step = (fun () -> drain_one t tid) }
+        else first (tid + 1)
+      in
+      first 0)
+  | Bag (v, rng) ->
+    let ps = picks t v in
+    if Vec.is_empty ps then None
+    else
+      Some
+        (step_of_pick t v (Vec.get ps (Random.State.int rng (Vec.length ps))))
+  | Script_bag (v, s) ->
+    let ps = picks t v in
+    if Vec.is_empty ps then None
+    else begin
+      let n = Vec.length ps in
+      let idx =
+        match s.forced with
+        | i :: rest ->
+          s.forced <- rest;
+          if i < 0 || i >= n then
+            invalid_arg "Machine: script choice out of range";
+          i
+        | [] -> 0
+      in
+      s.log <- (idx, n) :: s.log;
+      Some (step_of_pick t v (Vec.get ps idx))
+    end
+  | Guided_bag (v, g) ->
+    let ps = picks t v in
+    if Vec.is_empty ps then None
+    else begin
+      let n = Vec.length ps in
+      let infos =
+        Array.init n (fun i ->
+            match Vec.get ps i with
+            | Pick_entry j ->
+              let e = Vec.get v j in
+              { tid = e.tid; index = i; next = e.next }
+            | Pick_drain tid ->
+              { tid = drain_tid tid; index = i; next = drain_footprint t tid })
+      in
+      Array.sort
+        (fun (a : step_info) (b : step_info) -> compare a.tid b.tid)
+        infos;
+      let tid = g.choose infos in
+      let idx = ref (-1) in
+      for i = 0 to n - 1 do
+        if !idx < 0 then
+          match Vec.get ps i with
+          | Pick_entry j -> if (Vec.get v j).tid = tid then idx := i
+          | Pick_drain t' -> if drain_tid t' = tid then idx := i
+      done;
+      if !idx < 0 then
+        invalid_arg
+          (Printf.sprintf "Machine: guide chose tid %d, which is not runnable"
+             tid);
+      Some (step_of_pick t v (Vec.get ps !idx))
+    end
+
 let run t =
   let rec loop () =
     match take_runnable t with
-    | Some (tid, _next, thunk) ->
+    | Some step ->
       (match t.runq with
       | Guided_bag (_, g) ->
         t.step_log <- [];
-        thunk ();
-        g.on_step tid (List.rev t.step_log)
-      | Fifo _ | Bag _ | Script_bag _ -> thunk ());
+        step.exec_step ();
+        g.on_step step.eff_tid (List.rev t.step_log)
+      | Fifo _ | Bag _ | Script_bag _ -> step.exec_step ());
       loop ()
     | None ->
       if Hashtbl.length t.blocked > 0 then
@@ -332,6 +606,10 @@ let mfree addr = perform (E (Free addr))
 let yield () = perform (E Yield)
 let lock l = perform (E (Lock_op l))
 let unlock l = perform (E (Unlock_op l))
+let clflushopt addr = perform (E (Flush_op { kind = Event.Clflushopt; addr }))
+let clwb addr = perform (E (Flush_op { kind = Event.Clwb; addr }))
+let sfence () = perform (E (Fence_op Event.Sfence))
+let mfence () = perform (E (Fence_op Event.Mfence))
 
 let mutex t =
   let word = Memory.alloc t.mem Addr.Volatile 8 in

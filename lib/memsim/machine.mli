@@ -1,13 +1,29 @@
-(** Sequentially consistent multithreaded execution engine.
+(** Multithreaded execution engine with a selectable memory
+    consistency model ({!model}): sequentially consistent, or x86-TSO
+    with per-thread FIFO store buffers.
 
     Workloads are ordinary OCaml functions that access simulated memory
     through the thread-context operations below ({!load}, {!store},
     {!lock}, {!persist_barrier}, ...).  Each operation is an effect:
     the machine serializes exactly one operation at a time and hands
-    control to the scheduler between operations, so the emitted event
-    trace is a legal SC interleaving of the thread programs — the same
-    artifact the paper obtains by tracing a pthread program under PIN
-    with a lock bank providing analysis atomicity (Section 7).
+    control to the scheduler between operations.  Under {!Sc} the
+    emitted event trace is a legal SC interleaving of the thread
+    programs — the same artifact the paper obtains by tracing a pthread
+    program under PIN with a lock bank providing analysis atomicity
+    (Section 7).
+
+    Under {!Tso} each thread issues stores (and {!clflushopt}/{!clwb}
+    flushes) into a private FIFO store buffer; its own loads forward
+    from the buffer, other threads cannot see it.  Draining the oldest
+    buffered entry into memory is a separate scheduling decision
+    attributed to the pseudo-thread [drain_tid tid], so systematic
+    exploration ranges over drain interleavings exactly as it does over
+    thread steps.  Store events are emitted at drain time: trace order
+    is the global memory (and persist) order, and a drained store may
+    appear after program-order-later loads of its thread — the x86-TSO
+    store→load reordering.  Locked instructions ({!rmw}, {!lock}),
+    {!unlock}, {!sfence}, {!mfence} and {!persist_barrier} wait for the
+    calling thread's buffer to drain first.
 
     Locks are abstract queue locks: acquisition is an atomic
     read-modify-write event on the lock word; contended threads park
@@ -36,15 +52,18 @@ type access = {
     granularity) and at least one is a write. *)
 
 type step_info = {
-  tid : int;  (** the runnable thread *)
+  tid : int;
+      (** the runnable thread, or [drain_tid t] for the step that
+          drains the oldest store-buffer entry of thread [t] (TSO) *)
   index : int;
-      (** the thread's position in the runnable bag — the index a
-          [Scripted] policy would have to force to take this thread,
+      (** the step's position in the choice set — the index a
+          [Scripted] policy would have to force to take this step,
           so a guided run can be persisted as a replayable script *)
   next : access option;
-      (** static footprint of the thread's pending operation; [None]
-          when the step touches no shared location (thread start,
-          lock-grant resumption, yield) *)
+      (** static footprint of the step's pending operation (for a
+          drain step: the buffered store's range, or the flushed line
+          as a read); [None] when the step touches no shared location
+          (thread start, lock-grant resumption, yield, fence) *)
 }
 
 type guide = {
@@ -61,6 +80,21 @@ type guide = {
 (** The scheduler hook for systematic exploration (see [Check.Dpor]):
     the guide sees per-step enabled sets with conflict footprints and
     dictates every decision. *)
+
+type model =
+  | Sc  (** sequentially consistent: every access goes straight to memory *)
+  | Tso
+      (** x86-TSO: per-thread FIFO store buffers with load forwarding
+          and nondeterministic drain *)
+
+val drain_tid : int -> int
+(** The pseudo-thread id that drains thread [tid]'s store buffer, as it
+    appears in {!step_info} enabled sets and guided schedules. *)
+
+val is_drain_tid : int -> bool
+
+val drain_parent : int -> int
+(** Inverse of {!drain_tid}. *)
 
 type policy =
   | Round_robin  (** rotate threads after every operation *)
@@ -84,8 +118,10 @@ exception Deadlock of int list
 (** Raised by {!run} when unfinished threads remain but all are parked
     on locks; carries the blocked thread ids. *)
 
-val create : ?policy:policy -> memory:Memory.t -> unit -> t
-(** Default policy is [Round_robin]. *)
+val create : ?policy:policy -> ?model:model -> memory:Memory.t -> unit -> t
+(** Default policy is [Round_robin]; default model is [Sc]. *)
+
+val model : t -> model
 
 val memory : t -> Memory.t
 
@@ -126,7 +162,26 @@ val rmw : int -> (int64 -> int64) -> int64
 val fetch_add : int -> int64 -> int64
 
 val persist_barrier : unit -> unit
-(** Emit a [PersistBarrier] (epoch and strand persistency). *)
+(** Emit a [PersistBarrier] (epoch and strand persistency).  On a
+    {!Tso} machine this is also a full fence: it waits for the calling
+    thread's store buffer to drain. *)
+
+val clflushopt : int -> unit
+(** Request writeback of the cache line holding the address (Px86):
+    the flush reaches persistence only once ordered by a later fence.
+    On a {!Tso} machine the flush enters the store buffer. *)
+
+val clwb : int -> unit
+(** Like {!clflushopt} but may retain the line in cache; identical
+    ordering semantics in this model. *)
+
+val sfence : unit -> unit
+(** Store fence: orders earlier flushes (and drains the store buffer
+    on a {!Tso} machine) before later stores. *)
+
+val mfence : unit -> unit
+(** Full fence; in this model loads never wait, so it behaves like
+    {!sfence} with stronger intent documented in the trace. *)
 
 val new_strand : unit -> unit
 (** Emit a [NewStrand] (strand persistency). *)

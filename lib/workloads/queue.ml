@@ -27,6 +27,7 @@ type params = {
   capacity_entries : int;
   seed : int;
   policy : M.policy;
+  machine : M.model;
 }
 
 let default_params =
@@ -37,9 +38,10 @@ let default_params =
     entry_size = 100;
     capacity_entries = 64;
     seed = 42;
-    policy = M.Round_robin }
+    policy = M.Round_robin;
+    machine = M.Sc }
 
-let explore_params ?(threads = 2) ?(depth = 2) annotation =
+let explore_params ?(threads = 2) ?(depth = 2) ?(machine = M.Sc) annotation =
   { design = Cwl;
     annotation;
     threads;
@@ -47,7 +49,8 @@ let explore_params ?(threads = 2) ?(depth = 2) annotation =
     entry_size = 16;
     capacity_entries = threads * depth;
     seed = 1;
-    policy = M.Round_robin }
+    policy = M.Round_robin;
+    machine }
 
 let annotation_for mode ~racing =
   match mode with
@@ -82,10 +85,11 @@ let annotation_name = function
   | Buggy_epoch -> "buggy-epoch"
 
 let pp_params ppf p =
-  Format.fprintf ppf "%s/%s threads=%d inserts=%d entry=%dB cap=%d"
+  Format.fprintf ppf "%s/%s threads=%d inserts=%d entry=%dB cap=%d%s"
     (design_name p.design)
     (annotation_name p.annotation)
     p.threads p.inserts_per_thread p.entry_size p.capacity_entries
+    (match p.machine with M.Sc -> "" | M.Tso -> " machine=tso")
 
 (* Persist-barrier placement per Algorithm 1.  Line numbers refer to
    the paper's pseudo-code; lines 5 and 11 are the ones whose removal
@@ -248,7 +252,7 @@ let run p ~sink =
       ~volatile_capacity:(4096 + (32 * p.threads))
       ()
   in
-  let machine = M.create ~policy:p.policy ~memory () in
+  let machine = M.create ~policy:p.policy ~model:p.machine ~memory () in
   M.set_sink machine sink;
   let head_addr = Memsim.Memory.alloc memory Memsim.Addr.Persistent 8 in
   let data_addr = Memsim.Memory.alloc memory Memsim.Addr.Persistent data_bytes in

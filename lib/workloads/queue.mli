@@ -54,17 +54,22 @@ type params = {
   capacity_entries : int;  (** data segment capacity, in entries *)
   seed : int;
   policy : Memsim.Machine.policy;
+  machine : Memsim.Machine.model;
+      (** machine consistency model; under [Tso] stores sit in per-thread
+          store buffers and persist in drain order *)
 }
 
 val default_params : params
 (** CWL, [Unannotated], 1 thread, 1000 inserts, 100-byte entries,
-    64-entry capacity, seed 42, round-robin. *)
+    64-entry capacity, seed 42, round-robin, SC machine. *)
 
 val annotation_for : Persistency.Config.mode -> racing:bool -> annotation
 (** The natural annotation for a model: strict → [Unannotated], epoch →
     [Epoch] or [Racing], strand → [Strand]. *)
 
-val explore_params : ?threads:int -> ?depth:int -> annotation -> params
+val explore_params :
+  ?threads:int -> ?depth:int -> ?machine:Memsim.Machine.model ->
+  annotation -> params
 (** A CWL instance sized for systematic exploration ({!Check}):
     [threads] (default 2) threads of [depth] (default 2) inserts of a
     16-byte entry, capacity exactly [threads * depth] (no wrap-around,

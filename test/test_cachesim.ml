@@ -135,7 +135,8 @@ let test_hw_queue_comparison () =
       entry_size = 100;
       capacity_entries = 24;
       seed = 3;
-      policy = Memsim.Machine.Random 3 }
+      policy = Memsim.Machine.Random 3;
+      machine = Memsim.Machine.Sc }
   in
   let trace = Memsim.Trace.create () in
   let _ = Workloads.Queue.run params ~sink:(Memsim.Trace.sink trace) in

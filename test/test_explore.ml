@@ -92,6 +92,98 @@ let test_distinct_traces () =
   (* two single-store threads: exactly 2 distinct event orders *)
   checki "distinct traces" 2 (Hashtbl.length seen)
 
+(* --- TSO: drain decisions in the exploration interface ------------- *)
+
+(* Store-buffering shape; returns the trace rendered as a string so
+   distinct interleavings (including distinct drain orders) are
+   distinguishable, plus the two load results. *)
+let sb_run model policy =
+  let memory = Memsim.Memory.create () in
+  let machine = M.create ~policy ~model ~memory () in
+  let trace = Memsim.Trace.create () in
+  M.set_sink machine (Memsim.Trace.sink trace);
+  let x = Memsim.Memory.alloc memory Memsim.Addr.Persistent 8 in
+  let y = Memsim.Memory.alloc memory Memsim.Addr.Persistent 8 in
+  let r = [| 0L; 0L |] in
+  ignore
+    (M.spawn machine (fun () ->
+         M.store x 1L;
+         r.(0) <- M.load y));
+  ignore
+    (M.spawn machine (fun () ->
+         M.store y 1L;
+         r.(1) <- M.load x));
+  M.run machine;
+  let key =
+    String.concat ";"
+      (List.map Memsim.Event.to_string (Memsim.Trace.to_list trace))
+  in
+  (key, r.(0), r.(1))
+
+let test_tso_widens_exploration () =
+  (* under TSO the drain pseudo-threads are extra scheduling decisions:
+     more interleavings, more distinct traces, and the SC-forbidden
+     outcome r0 = r1 = 0 appears *)
+  let census model =
+    let traces = Hashtbl.create 64 in
+    let weak = ref false in
+    let o =
+      Memsim.Explore.run_all ~limit:100_000 (fun policy ->
+          let key, r0, r1 = sb_run model policy in
+          Hashtbl.replace traces key ();
+          if r0 = 0L && r1 = 0L then weak := true)
+    in
+    checkb "complete" true o.Memsim.Explore.complete;
+    (o.Memsim.Explore.traces, Hashtbl.length traces, !weak)
+  in
+  let sc_runs, sc_traces, sc_weak = census M.Sc in
+  let tso_runs, tso_traces, tso_weak = census M.Tso in
+  checkb "tso explores more interleavings" true (tso_runs > sc_runs);
+  checkb "tso has more distinct traces" true (tso_traces > sc_traces);
+  checkb "sc forbids r0=r1=0" false sc_weak;
+  checkb "tso allows r0=r1=0" true tso_weak
+
+let test_next_prefix_drain_roundtrip () =
+  (* drive the depth-first enumeration by hand through
+     [script_choices] -> [next_prefix] -> [script ~forced] on the TSO
+     store-buffering program: the leaf count must match [run_all]'s,
+     and every forced prefix must replay verbatim (the prefix of the
+     new log equals the forced decisions) — drain choices are ordinary
+     decision indices throughout. *)
+  let oracle =
+    Memsim.Explore.run_all ~limit:100_000 (fun policy ->
+        ignore (sb_run M.Tso policy))
+  in
+  let leaves = ref 0 in
+  let rec go forced =
+    let s = M.script ~forced in
+    ignore (sb_run M.Tso (M.Scripted s));
+    incr leaves;
+    let log = M.script_choices s in
+    let replayed = List.filteri (fun i _ -> i < List.length forced) log in
+    Alcotest.(check (list int))
+      "forced prefix replayed verbatim" forced
+      (List.map fst replayed);
+    match Memsim.Explore.next_prefix log with
+    | Some forced' -> go forced'
+    | None -> ()
+  in
+  go [];
+  checki "manual DFS visits run_all's leaves" oracle.Memsim.Explore.traces
+    !leaves
+
+let test_tso_scripted_replay () =
+  (* any TSO run — drains and all — is reproducible by forcing its
+     recorded decisions: same trace, same loads, run after run *)
+  let s0 = M.script ~forced:[] in
+  let key0, r0, r1 = sb_run M.Tso (M.Scripted s0) in
+  let forced = List.map fst (M.script_choices s0) in
+  for _ = 1 to 2 do
+    let key, r0', r1' = sb_run M.Tso (M.Scripted (M.script ~forced)) in
+    Alcotest.(check string) "same trace" key0 key;
+    checkb "same registers" true (r0 = r0' && r1 = r1')
+  done
+
 let test_scripted_out_of_range () =
   Alcotest.match_raises "bad script index"
     (function Invalid_argument _ -> true | _ -> false)
@@ -129,7 +221,8 @@ let exhaustive_queue ?(design = Q.Cwl) ?(limit = 20_000)
         entry_size = 16;
         capacity_entries;
         seed = 1;
-        policy }
+        policy;
+        machine = M.Sc }
     in
     let cfg = P.Config.make ~record_graph:true mode in
     let engine = P.Engine.create cfg in
@@ -212,6 +305,12 @@ let () =
             test_next_prefix;
           Alcotest.test_case "complete flag" `Quick test_complete_flag;
           Alcotest.test_case "distinct traces" `Quick test_distinct_traces;
+          Alcotest.test_case "tso widens exploration" `Quick
+            test_tso_widens_exploration;
+          Alcotest.test_case "next_prefix round-trip with drains" `Quick
+            test_next_prefix_drain_roundtrip;
+          Alcotest.test_case "tso scripted replay" `Quick
+            test_tso_scripted_replay;
           Alcotest.test_case "script validation" `Quick
             test_scripted_out_of_range ] );
       ( "exhaustive-queue",

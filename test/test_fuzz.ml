@@ -253,6 +253,93 @@ let test_explorer_corpus () =
       check_corpus_trace ~what P.Config.Epoch (Memsim.Trace.of_list replayed))
     !entries
 
+(* ------------------------------------------------------------------ *)
+(* SC/TSO differential on race-free litmus programs.
+
+   Store buffering is invisible to a program whose threads touch
+   disjoint variables: drains reorder a thread's stores only relative
+   to *other* threads' accesses, never to a conflicting one.  So for a
+   generated race-free program (2 threads x <=4 ops — stores, loads,
+   flushes, fences, persist barriers — over per-thread variables) the
+   census of persist-graph fingerprints over all interleavings must be
+   identical under SC and TSO, even though TSO explores strictly more
+   interleavings.  A machine bug that let a drain slip past its
+   thread's fence, or an engine bug sensitive to benign trace
+   reorderings, breaks the equality. *)
+
+let litmus_traces = max 1 (traces_per_model / 10)
+
+let gen_litmus_instr rng var =
+  match Random.State.int rng 8 with
+  | 0 | 1 | 2 -> Litmus.St (var, 1 + Random.State.int rng 3)
+  | 3 -> Litmus.Ld (var, "r" ^ string_of_int (Random.State.int rng 2))
+  | 4 -> Litmus.Flush var
+  | 5 -> Litmus.Clwb var
+  | 6 -> if Random.State.bool rng then Litmus.Sfence else Litmus.Mfence
+  | _ -> Litmus.Pbarrier
+
+let gen_racefree_test rng seed =
+  (* thread t owns variables a<t> and b<t>: no cross-thread conflicts *)
+  let thread t =
+    let ops = 1 + Random.State.int rng 4 in
+    let own = [| Printf.sprintf "a%d" t; Printf.sprintf "b%d" t |] in
+    List.init ops (fun _ ->
+        gen_litmus_instr rng own.(Random.State.int rng 2))
+  in
+  { Litmus.name = Printf.sprintf "racefree-%d" seed;
+    doc = "generated race-free program";
+    vars = [ "a0"; "b0"; "a1"; "b1" ];
+    threads = [ thread 0; thread 1 ];
+    observe = [];
+    sc = { Litmus.allowed = []; forbidden = [] };
+    tso = { Litmus.allowed = []; forbidden = [] } }
+
+let fingerprint_census t model =
+  let seen = Hashtbl.create 64 in
+  let cfg = Litmus.default_cfg in
+  let run policy =
+    let memory = Memsim.Memory.create ~persistent_capacity:1024 () in
+    let machine = Memsim.Machine.create ~policy ~model ~memory () in
+    let engine = P.Engine.create cfg in
+    Memsim.Machine.set_sink machine (P.Engine.observe engine);
+    let addrs =
+      List.map
+        (fun v -> (v, Memsim.Memory.alloc memory Memsim.Addr.Persistent 8))
+        t.Litmus.vars
+    in
+    let regs = Hashtbl.create 8 in
+    List.iteri
+      (fun tid instrs ->
+        ignore
+          (Memsim.Machine.spawn machine
+             (Litmus.exec_thread regs (fun v -> List.assoc v addrs) tid instrs)))
+      t.Litmus.threads;
+    Memsim.Machine.run machine;
+    let graph = Option.get (P.Engine.graph engine) in
+    Hashtbl.replace seen (P.Graph_export.fingerprint graph) ()
+  in
+  let o = Memsim.Explore.run_all ~limit:200_000 run in
+  if not o.Memsim.Explore.complete then
+    Alcotest.failf "%s/%s: exploration hit the limit" t.Litmus.name
+      (Litmus.model_name model);
+  ( o.Memsim.Explore.traces,
+    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []) )
+
+let test_racefree_sc_tso_census () =
+  for seed = 1 to litmus_traces do
+    traced ~name:"racefree-sc-tso" ~seed @@ fun () ->
+    let rng = Random.State.make [| 0x2545f491; seed |] in
+    let t = gen_racefree_test rng seed in
+    let sc_traces, sc_census = fingerprint_census t Memsim.Machine.Sc in
+    let tso_traces, tso_census = fingerprint_census t Memsim.Machine.Tso in
+    if sc_census <> tso_census then
+      Alcotest.failf
+        "%s: fingerprint census diverged (sc %d fingerprints / %d traces, \
+         tso %d / %d)"
+        t.Litmus.name (List.length sc_census) sc_traces
+        (List.length tso_census) tso_traces
+  done
+
 type campaign = {
   c_name : string;
   count : int;
@@ -336,4 +423,9 @@ let () =
           P.Config.all_modes );
       ( "explorer-corpus",
         [ Alcotest.test_case "replayed schedules agree with the oracle"
-            `Quick test_explorer_corpus ] ) ]
+            `Quick test_explorer_corpus ] );
+      ( "sc-tso-differential",
+        [ Alcotest.test_case
+            (Printf.sprintf "race-free census equal (%d programs)"
+               litmus_traces)
+            `Quick test_racefree_sc_tso_census ] ) ]

@@ -17,7 +17,8 @@ let tiny_params =
     entry_size = 16;
     capacity_entries = 2;
     seed = 1;
-    policy = M.Round_robin }
+    policy = M.Round_robin;
+    machine = M.Sc }
 
 let trace_string params =
   let trace = Memsim.Trace.create () in

@@ -93,7 +93,11 @@ let sample_events =
         { tid = 2; addr = 64; size = 8; value = 1L; space = A.Persistent } );
     Memsim.Event.Persist_barrier 3;
     Memsim.Event.New_strand 4;
-    Memsim.Event.Label (5, "insert with spaces") ]
+    Memsim.Event.Label (5, "insert with spaces");
+    Memsim.Event.Flush { tid = 6; kind = Memsim.Event.Clflushopt; addr = 24 };
+    Memsim.Event.Flush { tid = 7; kind = Memsim.Event.Clwb; addr = 32 };
+    Memsim.Event.Fence { tid = 8; kind = Memsim.Event.Sfence };
+    Memsim.Event.Fence { tid = 9; kind = Memsim.Event.Mfence } ]
 
 let test_event_roundtrip () =
   List.iter
@@ -109,7 +113,7 @@ let test_event_is_persist () =
   in
   let expect =
     [ false (* load *); false (* volatile store *); true (* persistent rmw *);
-      false; false; false ]
+      false; false; false; false; false; false; false ]
   in
   List.iter2
     (fun ev e ->
@@ -118,7 +122,7 @@ let test_event_is_persist () =
     sample_events expect
 
 let test_event_tid () =
-  check (Alcotest.list Alcotest.int) "tids" [ 0; 1; 2; 3; 4; 5 ]
+  check (Alcotest.list Alcotest.int) "tids" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
     (List.map Memsim.Event.tid sample_events)
 
 let test_event_bad_parse () =
@@ -370,6 +374,8 @@ let test_machine_barrier_events () =
         | Memsim.Event.Access (Memsim.Event.Store, _) -> "store"
         | Memsim.Event.Persist_barrier _ -> "pb"
         | Memsim.Event.New_strand _ -> "ns"
+        | Memsim.Event.Flush _ -> "flush"
+        | Memsim.Event.Fence _ -> "fence"
         | Memsim.Event.Access (_, _) -> "other")
       (Memsim.Trace.to_list trace)
   in

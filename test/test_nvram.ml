@@ -109,7 +109,8 @@ let test_drain_monotone_in_depth () =
       entry_size = 100;
       capacity_entries = 32;
       seed = 2;
-      policy = Memsim.Machine.Round_robin }
+      policy = Memsim.Machine.Round_robin;
+      machine = Memsim.Machine.Sc }
   in
   let cfg = P.Config.make ~record_graph:true P.Config.Epoch in
   let engine = P.Engine.create cfg in

@@ -204,6 +204,57 @@ let test_kv_and_recovery_metrics () =
       | Some c when c > 0. -> ()
       | _ -> Alcotest.fail "workload.kv.probe_len has no observations")
 
+(* The TSO machine's store-buffer instruments: drains, flushes, fences
+   and the occupancy histogram must register under the expected names,
+   count a real run's activity, and stay untouched (zero-cost path)
+   while the registry is disabled. *)
+let test_machine_tso_metrics () =
+  M.reset M.default;
+  let sb_run () =
+    let memory = Memsim.Memory.create () in
+    let machine =
+      Memsim.Machine.create ~model:Memsim.Machine.Tso ~memory ()
+    in
+    Memsim.Machine.set_sink machine ignore;
+    let x = Memsim.Memory.alloc memory Memsim.Addr.Persistent 8 in
+    let y = Memsim.Memory.alloc memory Memsim.Addr.Persistent 8 in
+    ignore
+      (Memsim.Machine.spawn machine (fun () ->
+           Memsim.Machine.store x 1L;
+           Memsim.Machine.store x 2L;
+           Memsim.Machine.clflushopt x;
+           Memsim.Machine.sfence ();
+           Memsim.Machine.store y 1L;
+           Memsim.Machine.mfence ()));
+    Memsim.Machine.run machine
+  in
+  let counter name = M.counter_value (M.counter M.default name) in
+  (* disabled: the instrumented machine must leave the registry alone *)
+  sb_run ();
+  Alcotest.(check int) "disabled: drains untouched" 0
+    (counter "machine.store_buffer_drains");
+  Alcotest.(check int) "disabled: occupancy untouched" 0
+    (M.histogram_count
+       (M.histogram M.default ~buckets:(M.pow2_buckets 7)
+          "machine.store_buffer_occupancy"));
+  M.set_enabled M.default true;
+  Fun.protect
+    ~finally:(fun () -> M.set_enabled M.default false)
+    (fun () ->
+      sb_run ();
+      (* 3 stores + 1 flush pass through the buffer *)
+      Alcotest.(check int) "drains" 4 (counter "machine.store_buffer_drains");
+      Alcotest.(check int) "flushes" 1 (counter "machine.flushes");
+      Alcotest.(check int) "fences" 2 (counter "machine.fences");
+      let h =
+        M.histogram M.default ~buckets:(M.pow2_buckets 7)
+          "machine.store_buffer_occupancy"
+      in
+      Alcotest.(check int) "occupancy observed per push" 4
+        (M.histogram_count h);
+      Alcotest.(check bool) "occupancy sum positive" true
+        (M.histogram_sum h > 0.))
+
 (* Tracer *)
 
 let test_trace_json_balanced () =
@@ -394,7 +445,9 @@ let () =
           Alcotest.test_case "kv and recovery instruments" `Quick
             test_kv_and_recovery_metrics;
           Alcotest.test_case "dump matches engine accessors" `Quick
-            test_metrics_dump_matches_engine ] );
+            test_metrics_dump_matches_engine;
+          Alcotest.test_case "tso machine instruments" `Quick
+            test_machine_tso_metrics ] );
       ( "tracer",
         [ Alcotest.test_case "balanced well-formed events" `Quick
             test_trace_json_balanced;

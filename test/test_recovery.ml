@@ -24,7 +24,8 @@ let run_and_graph ~design ~annotation ~mode ~threads ~inserts ~seed =
       entry_size = 100;
       capacity_entries = threads * inserts;
       seed;
-      policy = Memsim.Machine.Random seed }
+      policy = Memsim.Machine.Random seed;
+      machine = Memsim.Machine.Sc }
   in
   let cfg = P.Config.make ~record_graph:true mode in
   let engine = P.Engine.create cfg in
@@ -199,7 +200,8 @@ let recovery_property =
           entry_size = 100;
           capacity_entries = threads * inserts;
           seed;
-          policy = Memsim.Machine.Random seed }
+          policy = Memsim.Machine.Random seed;
+          machine = Memsim.Machine.Sc }
       in
       let cfg = P.Config.make ~record_graph:true mode in
       let engine = P.Engine.create cfg in
@@ -212,6 +214,75 @@ let recovery_property =
       with
       | Ok _ -> true
       | Error f -> QCheck.Test.fail_report (Recovery.render_failure f))
+
+(* [Recovery.auto] boundary behavior: the strategy switchover must
+   happen exactly at [exhaustive_limit] nodes — one node past it falls
+   back to sampling — and limits beyond the 24-node enumeration ceiling
+   must be rejected, not silently sampled. *)
+let graph_of_n n =
+  let trace =
+    Memsim.Trace.of_list
+      (List.init n (fun i ->
+           Memsim.Event.Access
+             ( Memsim.Event.Store,
+               { Memsim.Event.tid = 0;
+                 addr = 8 * i;
+                 size = 8;
+                 value = 1L;
+                 space = Memsim.Addr.Persistent } )))
+  in
+  let cfg = P.Config.make ~coalescing:false ~record_graph:true P.Config.Epoch in
+  let engine = P.Engine.create cfg in
+  P.Engine.observe_trace engine trace;
+  let graph = Option.get (P.Engine.graph engine) in
+  Alcotest.(check int) "graph size" n (P.Persist_graph.node_count graph);
+  graph
+
+let test_auto_boundary () =
+  let strat ?exhaustive_limit n =
+    Recovery.auto ?exhaustive_limit ~samples:7 ~seed:3 (graph_of_n n)
+  in
+  let is_exhaustive = function
+    | Recovery.Exhaustive -> true
+    | Recovery.Sampled _ -> false
+  in
+  (* default limit is 20 *)
+  checkb "20 nodes: exhaustive" true (is_exhaustive (strat 20));
+  checkb "21 nodes: sampled" false (is_exhaustive (strat 21));
+  (match strat 21 with
+  | Recovery.Sampled { samples; seed } ->
+    Alcotest.(check int) "samples carried" 7 samples;
+    Alcotest.(check int) "seed carried" 3 seed
+  | Recovery.Exhaustive -> Alcotest.fail "expected Sampled");
+  (* the limit is a parameter, up to the enumeration ceiling *)
+  checkb "limit 24, 24 nodes: exhaustive" true
+    (is_exhaustive (strat ~exhaustive_limit:24 24));
+  checkb "limit 24, 25 nodes: sampled" false
+    (is_exhaustive (strat ~exhaustive_limit:24 25));
+  checkb "limit 1, 2 nodes: sampled" false
+    (is_exhaustive (strat ~exhaustive_limit:1 2));
+  Alcotest.match_raises "limit 25 rejected"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (strat ~exhaustive_limit:25 4));
+  (* both strategies actually run at their boundary sizes: exhaustive
+     enumerates all 2^n prefixes of an unordered 20-node graph only if
+     asked... keep it small: n independent persists have 2^n prefixes *)
+  let graph = graph_of_n 4 in
+  (match
+     Recovery.check ~graph ~capacity:64 ~strategy:Recovery.Exhaustive
+       (fun _ -> Ok ())
+   with
+  | Ok r ->
+    Alcotest.(check int) "2^4 prefixes" 16 r.Recovery.prefixes;
+    Alcotest.(check int) "4 nodes" 4 r.Recovery.nodes
+  | Error _ -> Alcotest.fail "exhaustive check failed");
+  match
+    Recovery.check ~graph ~capacity:64
+      ~strategy:(Recovery.Sampled { samples = 9; seed = 1 })
+      (fun _ -> Ok ())
+  with
+  | Ok r -> Alcotest.(check int) "sampled prefix count" 9 r.Recovery.prefixes
+  | Error _ -> Alcotest.fail "sampled check failed"
 
 let () =
   Alcotest.run "recovery"
@@ -233,5 +304,6 @@ let () =
           Alcotest.test_case "empty cut" `Quick test_empty_cut_recovers_empty;
           Alcotest.test_case "Recovery.check matches legacy observer" `Quick
             test_verify_matches_legacy;
+          Alcotest.test_case "Recovery.auto boundary" `Quick test_auto_boundary;
           QCheck_alcotest.to_alcotest recovery_property
         ] ) ]

@@ -99,7 +99,8 @@ let test_insert_list_overflow () =
 (* Queue programs *)
 
 let run_queue ?(design = Q.Cwl) ?(annotation = Q.Unannotated) ?(threads = 1)
-    ?(inserts = 8) ?(capacity = 64) ?(policy = M.Round_robin) () =
+    ?(inserts = 8) ?(capacity = 64) ?(policy = M.Round_robin)
+    ?(machine = M.Sc) () =
   let params =
     { Q.design;
       annotation;
@@ -108,7 +109,8 @@ let run_queue ?(design = Q.Cwl) ?(annotation = Q.Unannotated) ?(threads = 1)
       entry_size = 100;
       capacity_entries = capacity;
       seed = 11;
-      policy }
+      policy;
+      machine }
   in
   let trace = Memsim.Trace.create () in
   let result = Q.run params ~sink:(Memsim.Trace.sink trace) in
@@ -166,7 +168,9 @@ let test_queue_annotations_emit_barriers () =
       (function
         | Memsim.Event.Persist_barrier _ -> incr pbs
         | Memsim.Event.New_strand _ -> incr nss
-        | Memsim.Event.Access _ | Memsim.Event.Label _ -> ())
+        | Memsim.Event.Access _ | Memsim.Event.Label _ | Memsim.Event.Flush _
+        | Memsim.Event.Fence _ ->
+          ())
       trace;
     (!pbs, !nss)
   in
