@@ -2,7 +2,7 @@
 # the parallel sweeps and the fuzzer; see README "Running the
 # evaluation in parallel".
 
-.PHONY: all build test bench bench-quick fuzz fmt-check smoke explore litmus ci clean
+.PHONY: all build test bench bench-quick bench-json fuzz fmt-check smoke explore litmus ci clean
 
 all: build
 
@@ -19,6 +19,14 @@ bench: build
 # Shrunk smoke run of the same.
 bench-quick: build
 	BENCH_QUICK=1 dune exec bench/main.exe
+
+# Machine-readable bench manifest for the perf trajectory: the quick
+# run, serialized to BENCH_JSON (schema persistsim-bench/1).  Compare
+# two manifests with `persistsim perf old.json new.json`.
+BENCH_JSON ?= /tmp/persistsim-bench.json
+bench-json: build
+	BENCH_QUICK=1 BENCH_OUT=$(BENCH_JSON) dune exec bench/main.exe > /dev/null
+	python3 -m json.tool $(BENCH_JSON) > /dev/null
 
 # Long differential fuzz of the persist engine against the oracle:
 # 2000 traces per model (the test suite's default is 200).
@@ -40,6 +48,8 @@ smoke: build
 	grep -q "digraph persist_graph" /tmp/persistsim-graph.dot
 	dune exec bin/persistsim.exe -- kv --inserts 100 > /dev/null
 	dune exec bin/persistsim.exe -- kv --recovery --samples 100 > /dev/null
+	dune exec bin/persistsim.exe -- perf BENCH_PR7.json > /dev/null
+	dune exec bin/persistsim.exe -- perf BENCH_PR7.json BENCH_PR7.json > /dev/null
 
 # DPOR exploration smoke: the queue sweep against the brute-force
 # oracle (same graph census, far fewer schedules), and the buggy KV

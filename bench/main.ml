@@ -12,7 +12,15 @@
    tables use the experiment defaults), BENCH_QUICK=1 to shrink
    everything for smoke runs, and BENCH_JOBS to run the reproduction
    sweeps on that many domains (default: cores - 1; output is
-   byte-identical for any value, sweep profiles go to stderr). *)
+   byte-identical for any value, sweep profiles go to stderr).
+
+   BENCH_OUT=<path> additionally writes a machine-readable manifest of
+   the whole run (Obs.Runinfo bench schema): one entry per reproduction
+   phase (wall clock, engine events/sec, allocated words, peak RSS) and
+   one per Bechamel microbench (time/run, runs/sec, allocated
+   words/run, peak RSS).  `persistsim perf` compares two such files and
+   gates on regressions — BENCH_PR7.json at the repo root is the
+   committed trajectory. *)
 
 open Bechamel
 open Toolkit
@@ -29,6 +37,62 @@ let jobs = getenv_int "BENCH_JOBS" (Parallel.Pool.default_domains ())
 let on_profile p = prerr_string (Parallel.Pool.render_profile p)
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_OUT: machine-readable run manifest *)
+
+let bench_out = Sys.getenv_opt "BENCH_OUT"
+
+(* Events/sec needs the engine's event counter, so the registry must be
+   live for the whole run (this is independent of METRICS_OUT, which
+   additionally dumps the registry at exit). *)
+let () =
+  if bench_out <> None then Obs.Metrics.set_enabled Obs.Metrics.default true
+
+let engine_events = Obs.Metrics.counter Obs.Metrics.default "engine.events"
+let entries : Obs.Runinfo.entry list ref = ref []
+let record_entry e = entries := e :: !entries
+
+(* Measure one reproduction phase: wall clock and allocation around the
+   thunk, throughput from the engine's event-counter delta (falling
+   back to the configured item count for phases that bypass the
+   engine), RSS high-water after the phase. *)
+let repro_phase name ~items f =
+  match bench_out with
+  | None -> f ()
+  | Some _ ->
+    let ev0 = Obs.Metrics.counter_value engine_events in
+    let v, d = Obs.Perfscope.measure f in
+    let events = Obs.Metrics.counter_value engine_events - ev0 in
+    let items, rate_unit =
+      if events > 0 then (events, "events/s") else (items, "items/s")
+    in
+    record_entry
+      { Obs.Runinfo.name = "repro:" ^ name;
+        kind = "reproduction";
+        wall_s = d.Obs.Perfscope.wall_s;
+        rate = Obs.Perfscope.rate items d.Obs.Perfscope.wall_s;
+        rate_unit;
+        alloc_words = Obs.Perfscope.alloc_words d;
+        peak_rss_kb = Obs.Perfscope.peak_rss_kb () };
+    v
+
+let write_bench_out () =
+  match bench_out with
+  | None -> ()
+  | Some path ->
+    let run =
+      Obs.Runinfo.capture ~tool:"bench" ~jobs
+        ~knobs:
+          [ ("quick", if quick then "1" else "0");
+            ("repro_inserts", string_of_int repro_inserts);
+            ("micro_inserts", string_of_int micro_inserts) ]
+        ()
+    in
+    let entries = List.rev !entries in
+    Obs.Runinfo.write_bench { Obs.Runinfo.run; entries } path;
+    Printf.eprintf "bench: wrote %d entries to %s\n" (List.length entries)
+      path
+
+(* ------------------------------------------------------------------ *)
 (* Reproduction *)
 
 let banner title =
@@ -40,85 +104,101 @@ let reproduce () =
     "scale: %d inserts per configuration, %d-entry data segment, \
      %d sweep domain(s)\n"
     repro_inserts Experiments.Run.default_capacity jobs;
-  banner "Table 1";
-  let t1 = Experiments.Table1.run ~jobs ~total_inserts:repro_inserts () in
-  on_profile t1.Experiments.Table1.profile;
-  print_string (Experiments.Table1.render t1);
-  banner "Figure 3";
-  let f3 = Experiments.Fig3.run ~jobs ~total_inserts:repro_inserts () in
-  on_profile f3.Experiments.Fig3.profile;
-  print_string (Experiments.Fig3.render f3);
-  banner "Figure 4";
-  let f4 =
-    Experiments.Granularity.run ~jobs ~total_inserts:repro_inserts
-      Experiments.Granularity.Atomic_persist
-  in
-  on_profile f4.Experiments.Granularity.profile;
-  print_string (Experiments.Granularity.render f4);
-  banner "Figure 5";
-  let f5 =
-    Experiments.Granularity.run ~jobs ~total_inserts:repro_inserts
-      Experiments.Granularity.Tracking
-  in
-  on_profile f5.Experiments.Granularity.profile;
-  print_string (Experiments.Granularity.render f5);
-  banner "Section 7 validation (insert distance)";
-  let v =
-    Experiments.Validation.run ~jobs ~total_inserts:(min repro_inserts 8000) ()
-  in
-  on_profile v.Experiments.Validation.profile;
-  print_string (Experiments.Validation.render v);
-  banner "Ablations (A1-A5)";
-  print_string
-    (Experiments.Ablation.render_comparisons
-       ~title:"A1: SC vs TSO (BPFS) conflict detection, cp/insert"
-       (Experiments.Ablation.tso_conflicts ~jobs ~on_profile
-          ~total_inserts:micro_inserts ()));
-  print_string
-    (Experiments.Ablation.render_comparisons
-       ~title:"\nA2: both spaces vs persistent-only conflicts, cp/insert"
-       (Experiments.Ablation.conflict_spaces ~jobs ~on_profile
-          ~total_inserts:micro_inserts ()));
-  print_string
-    (Experiments.Ablation.render_comparisons
-       ~title:"\nA4: coalescing on vs off, cp/insert"
-       (Experiments.Ablation.coalescing ~jobs ~on_profile
-          ~total_inserts:micro_inserts ()));
-  print_string
-    (Experiments.Ablation.render_buffer
-       (Experiments.Ablation.buffer_depth ~jobs ~on_profile
-          ~total_inserts:micro_inserts ()));
-  print_string
-    (Experiments.Ablation.render_capacity
-       (Experiments.Ablation.capacity ~jobs ~on_profile
-          ~total_inserts:(4 * micro_inserts) ()));
-  print_string
-    (Experiments.Ablation.render_sync
-       (Experiments.Ablation.persist_sync ~jobs ~on_profile
-          ~total_inserts:micro_inserts ()));
-  banner "Relaxing consistency vs relaxing persistency (Section 5.1)";
-  let cx = Experiments.Consistency_exp.run ~jobs ~total_inserts:repro_inserts () in
-  on_profile cx.Experiments.Consistency_exp.profile;
-  print_string (Experiments.Consistency_exp.render cx);
-  banner "KV store (persist critical path per operation)";
-  let kv =
-    Experiments.Kv_exp.run ~jobs ~total_ops:(min repro_inserts 4096) ()
-  in
-  on_profile kv.Experiments.Kv_exp.profile;
-  print_string (Experiments.Kv_exp.render kv);
-  banner "Model vs cache implementation";
-  print_string
-    (Experiments.Cache_impl.render
-       (Experiments.Cache_impl.run ~total_inserts:(4 * micro_inserts) ()));
-  banner "NVRAM wear";
-  let w = Experiments.Wear_exp.run ~jobs ~total_inserts:(2 * micro_inserts) () in
-  on_profile w.Experiments.Wear_exp.profile;
-  print_string (Experiments.Wear_exp.render w);
-  banner "Queue under SC vs TSO machine";
-  let m =
-    Experiments.Machine_exp.run ~jobs ~total_inserts:(2 * micro_inserts) ()
-  in
-  print_string (Experiments.Machine_exp.render m)
+  repro_phase "table1" ~items:repro_inserts (fun () ->
+      banner "Table 1";
+      let t1 = Experiments.Table1.run ~jobs ~total_inserts:repro_inserts () in
+      on_profile t1.Experiments.Table1.profile;
+      print_string (Experiments.Table1.render t1));
+  repro_phase "fig3" ~items:repro_inserts (fun () ->
+      banner "Figure 3";
+      let f3 = Experiments.Fig3.run ~jobs ~total_inserts:repro_inserts () in
+      on_profile f3.Experiments.Fig3.profile;
+      print_string (Experiments.Fig3.render f3));
+  repro_phase "fig4" ~items:repro_inserts (fun () ->
+      banner "Figure 4";
+      let f4 =
+        Experiments.Granularity.run ~jobs ~total_inserts:repro_inserts
+          Experiments.Granularity.Atomic_persist
+      in
+      on_profile f4.Experiments.Granularity.profile;
+      print_string (Experiments.Granularity.render f4));
+  repro_phase "fig5" ~items:repro_inserts (fun () ->
+      banner "Figure 5";
+      let f5 =
+        Experiments.Granularity.run ~jobs ~total_inserts:repro_inserts
+          Experiments.Granularity.Tracking
+      in
+      on_profile f5.Experiments.Granularity.profile;
+      print_string (Experiments.Granularity.render f5));
+  repro_phase "validation" ~items:(min repro_inserts 8000) (fun () ->
+      banner "Section 7 validation (insert distance)";
+      let v =
+        Experiments.Validation.run ~jobs
+          ~total_inserts:(min repro_inserts 8000) ()
+      in
+      on_profile v.Experiments.Validation.profile;
+      print_string (Experiments.Validation.render v));
+  repro_phase "ablations" ~items:micro_inserts (fun () ->
+      banner "Ablations (A1-A5)";
+      print_string
+        (Experiments.Ablation.render_comparisons
+           ~title:"A1: SC vs TSO (BPFS) conflict detection, cp/insert"
+           (Experiments.Ablation.tso_conflicts ~jobs ~on_profile
+              ~total_inserts:micro_inserts ()));
+      print_string
+        (Experiments.Ablation.render_comparisons
+           ~title:"\nA2: both spaces vs persistent-only conflicts, cp/insert"
+           (Experiments.Ablation.conflict_spaces ~jobs ~on_profile
+              ~total_inserts:micro_inserts ()));
+      print_string
+        (Experiments.Ablation.render_comparisons
+           ~title:"\nA4: coalescing on vs off, cp/insert"
+           (Experiments.Ablation.coalescing ~jobs ~on_profile
+              ~total_inserts:micro_inserts ()));
+      print_string
+        (Experiments.Ablation.render_buffer
+           (Experiments.Ablation.buffer_depth ~jobs ~on_profile
+              ~total_inserts:micro_inserts ()));
+      print_string
+        (Experiments.Ablation.render_capacity
+           (Experiments.Ablation.capacity ~jobs ~on_profile
+              ~total_inserts:(4 * micro_inserts) ()));
+      print_string
+        (Experiments.Ablation.render_sync
+           (Experiments.Ablation.persist_sync ~jobs ~on_profile
+              ~total_inserts:micro_inserts ())));
+  repro_phase "consistency" ~items:repro_inserts (fun () ->
+      banner "Relaxing consistency vs relaxing persistency (Section 5.1)";
+      let cx =
+        Experiments.Consistency_exp.run ~jobs ~total_inserts:repro_inserts ()
+      in
+      on_profile cx.Experiments.Consistency_exp.profile;
+      print_string (Experiments.Consistency_exp.render cx));
+  repro_phase "kv" ~items:(min repro_inserts 4096) (fun () ->
+      banner "KV store (persist critical path per operation)";
+      let kv =
+        Experiments.Kv_exp.run ~jobs ~total_ops:(min repro_inserts 4096) ()
+      in
+      on_profile kv.Experiments.Kv_exp.profile;
+      print_string (Experiments.Kv_exp.render kv));
+  repro_phase "cache-impl" ~items:(4 * micro_inserts) (fun () ->
+      banner "Model vs cache implementation";
+      print_string
+        (Experiments.Cache_impl.render
+           (Experiments.Cache_impl.run ~total_inserts:(4 * micro_inserts) ())));
+  repro_phase "wear" ~items:(2 * micro_inserts) (fun () ->
+      banner "NVRAM wear";
+      let w =
+        Experiments.Wear_exp.run ~jobs ~total_inserts:(2 * micro_inserts) ()
+      in
+      on_profile w.Experiments.Wear_exp.profile;
+      print_string (Experiments.Wear_exp.render w));
+  repro_phase "machine" ~items:(2 * micro_inserts) (fun () ->
+      banner "Queue under SC vs TSO machine";
+      let m =
+        Experiments.Machine_exp.run ~jobs ~total_inserts:(2 * micro_inserts) ()
+      in
+      print_string (Experiments.Machine_exp.render m))
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmarks *)
@@ -324,20 +404,29 @@ let run_benchmarks () =
     (fun test ->
       List.iter
         (fun elt ->
-          let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
-          let ols =
-            Analyze.OLS.ols ~bootstrap:0 ~r_square:true
-              ~responder:(Measure.label Instance.monotonic_clock)
-              ~predictors:[| Measure.run |]
-              raw.Benchmark.lr
+          let raw =
+            Benchmark.run cfg
+              [ Instance.monotonic_clock; Instance.minor_allocated ]
+              elt
           in
-          let time_ns =
-            match Analyze.OLS.estimates ols with
-            | Some (t :: _) -> t
-            | Some [] | None -> Float.nan
+          let estimate responder =
+            let ols =
+              Analyze.OLS.ols ~bootstrap:0 ~r_square:true
+                ~responder:(Measure.label responder)
+                ~predictors:[| Measure.run |]
+                raw.Benchmark.lr
+            in
+            let v =
+              match Analyze.OLS.estimates ols with
+              | Some (t :: _) -> t
+              | Some [] | None -> Float.nan
+            in
+            (v, Analyze.OLS.r_square ols)
           in
+          let time_ns, time_r2 = estimate Instance.monotonic_clock in
+          let alloc_w, _ = estimate Instance.minor_allocated in
           let r2 =
-            match Analyze.OLS.r_square ols with
+            match time_r2 with
             | Some r -> Printf.sprintf "%.4f" r
             | None -> "-"
           in
@@ -348,6 +437,17 @@ let run_benchmarks () =
             else if time_ns >= 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
             else Printf.sprintf "%.0f ns" time_ns
           in
+          if bench_out <> None && not (Float.is_nan time_ns) then begin
+            let wall_s = time_ns *. 1e-9 in
+            record_entry
+              { Obs.Runinfo.name = "micro:" ^ Test.Elt.name elt;
+                kind = "micro";
+                wall_s;
+                rate = (if wall_s > 0. then 1. /. wall_s else 0.);
+                rate_unit = "runs/s";
+                alloc_words = (if Float.is_nan alloc_w then 0. else alloc_w);
+                peak_rss_kb = Obs.Perfscope.peak_rss_kb () }
+          end;
           Report.Table.add_row table [ Test.Elt.name elt; human; r2 ])
         (Test.elements test))
     tests;
@@ -359,4 +459,5 @@ let () =
   Obs.Setup.from_env ();
   reproduce ();
   run_benchmarks ();
+  write_bench_out ();
   print_endline "\nbench: done"

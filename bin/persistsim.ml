@@ -34,10 +34,29 @@ let obs_t =
          & opt (some string) None
          & info [ "trace-out" ] ~docv:"FILE" ~env ~doc)
   in
-  let setup metrics_out trace_out =
-    Obs.Setup.activate ?metrics_out ?trace_out ()
+  let manifest_t =
+    let doc =
+      "Write a self-describing run manifest (tool, argv, git describe, \
+       OCaml version, cores) as JSON to $(docv) at exit."
+    in
+    let env = Cmd.Env.info "MANIFEST_OUT" in
+    Arg.(value
+         & opt (some string) None
+         & info [ "manifest-out" ] ~docv:"FILE" ~env ~doc)
   in
-  Term.(const setup $ metrics_t $ trace_t)
+  let progress_t =
+    let doc =
+      "Heartbeat long-running work (sweeps, DPOR exploration) on standard \
+       error: an interval-throttled line with completed/total cells, rate \
+       and ETA."
+    in
+    let env = Cmd.Env.info "PROGRESS" in
+    Arg.(value & flag & info [ "progress" ] ~env ~doc)
+  in
+  let setup metrics_out trace_out manifest_out progress =
+    Obs.Setup.activate ?metrics_out ?trace_out ?manifest_out ~progress ()
+  in
+  Term.(const setup $ metrics_t $ trace_t $ manifest_t $ progress_t)
 
 (* Table/chart rendering as its own trace phase (a no-op when tracing
    is off). *)
@@ -908,6 +927,135 @@ let litmus_cmd =
              ordering oracle.")
     Term.(const run $ obs_t $ models_t $ dpor_t $ test_t $ verbose_t $ csv_t)
 
+(* perf: the regression gate over BENCH_*.json files *)
+
+let perf_cmd =
+  let fmt_secs s =
+    if s >= 1. then Printf.sprintf "%.3f s" s
+    else if s >= 1e-3 then Printf.sprintf "%.3f ms" (s *. 1e3)
+    else if s >= 1e-6 then Printf.sprintf "%.3f us" (s *. 1e6)
+    else Printf.sprintf "%.0f ns" (s *. 1e9)
+  in
+  let fmt_words w =
+    if w >= 1e9 then Printf.sprintf "%.2fG" (w /. 1e9)
+    else if w >= 1e6 then Printf.sprintf "%.2fM" (w /. 1e6)
+    else if w >= 1e3 then Printf.sprintf "%.1fk" (w /. 1e3)
+    else Printf.sprintf "%.0f" w
+  in
+  let load path =
+    match Obs.Runinfo.load_bench path with
+    | Ok b -> b
+    | Error msg ->
+      Printf.eprintf "perf: %s\n" msg;
+      exit 2
+  in
+  let render_entries (b : Obs.Runinfo.bench) =
+    let t =
+      Report.Table.create
+        ~columns:
+          [ ("entry", Report.Table.Left); ("kind", Report.Table.Left);
+            ("wall", Report.Table.Right); ("rate", Report.Table.Right);
+            ("alloc words", Report.Table.Right);
+            ("peak rss", Report.Table.Right) ]
+    in
+    List.iter
+      (fun (e : Obs.Runinfo.entry) ->
+        Report.Table.add_row t
+          [ e.name; e.kind; fmt_secs e.wall_s;
+            Printf.sprintf "%s %s" (fmt_words e.rate) e.rate_unit;
+            fmt_words e.alloc_words;
+            Printf.sprintf "%d kB" e.peak_rss_kb ])
+      b.entries;
+    Report.Table.print t
+  in
+  let render_comparison (c : Obs.Runinfo.comparison) =
+    let t =
+      Report.Table.create
+        ~columns:
+          [ ("entry", Report.Table.Left); ("wall base", Report.Table.Right);
+            ("wall cand", Report.Table.Right); ("d wall", Report.Table.Right);
+            ("rate base", Report.Table.Right);
+            ("rate cand", Report.Table.Right); ("d rate", Report.Table.Right);
+            ("status", Report.Table.Left) ]
+    in
+    List.iter
+      (fun (d : Obs.Runinfo.delta) ->
+        Report.Table.add_row t
+          [ d.d_name; fmt_secs d.base.wall_s; fmt_secs d.cand.wall_s;
+            Printf.sprintf "%+.1f%%" d.wall_pct;
+            fmt_words d.base.rate; fmt_words d.cand.rate;
+            Printf.sprintf "%+.1f%%" d.rate_pct;
+            (if d.regressed then "REGRESSED" else "ok") ])
+      c.deltas;
+    Report.Table.print t
+  in
+  let run () files threshold report_only =
+    match files with
+    | [] -> assert false (* non_empty *)
+    | [ path ] ->
+      let b = load path in
+      Printf.printf "%s: %s\n" path (Obs.Runinfo.summary b.Obs.Runinfo.run);
+      render_entries b
+    | base_path :: cand_paths ->
+      let base = load base_path in
+      Printf.printf "base %s: %s\n" base_path
+        (Obs.Runinfo.summary base.Obs.Runinfo.run);
+      let regressed = ref false in
+      List.iter
+        (fun cand_path ->
+          let cand = load cand_path in
+          Printf.printf "cand %s: %s\n" cand_path
+            (Obs.Runinfo.summary cand.Obs.Runinfo.run);
+          let c =
+            Obs.Runinfo.compare_benches ~threshold_pct:threshold base cand
+          in
+          render_comparison c;
+          (match c.Obs.Runinfo.only_base with
+          | [] -> ()
+          | l ->
+            Printf.printf "entries only in base: %s\n" (String.concat ", " l));
+          (match c.Obs.Runinfo.only_cand with
+          | [] -> ()
+          | l ->
+            Printf.printf "entries only in cand: %s\n" (String.concat ", " l));
+          Printf.printf
+            "%s: %d/%d entries regressed beyond +-%.0f%% (wall-clock up or \
+             throughput down)\n"
+            cand_path
+            (List.length c.Obs.Runinfo.regressions)
+            (List.length c.Obs.Runinfo.deltas)
+            threshold;
+          if c.Obs.Runinfo.regressions <> [] then regressed := true)
+        cand_paths;
+      if !regressed && not report_only then exit 1
+  in
+  let files_t =
+    Arg.(non_empty & pos_all file []
+         & info [] ~docv:"BENCH_JSON"
+             ~doc:"Bench manifests (BENCH_*.json, from BENCH_OUT=<path> \
+                   bench runs).  One file: print its entries.  Two or more: \
+                   compare each later file against the first.")
+  in
+  let threshold_t =
+    Arg.(value & opt float 10.
+         & info [ "threshold" ] ~docv:"PCT"
+             ~doc:"Regression threshold in percent: an entry regresses when \
+                   its wall clock grows or its throughput drops by more than \
+                   $(docv)%.")
+  in
+  let report_only_t =
+    Arg.(value & flag
+         & info [ "report-only" ]
+             ~doc:"Render the comparison but always exit 0 (for CI runs \
+                   whose hardware differs from the committed baseline).")
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:"Compare machine-readable bench manifests (BENCH_*.json) and \
+             gate on wall-clock/throughput regressions: exit 1 when any \
+             entry regressed beyond the threshold.")
+    Term.(const run $ obs_t $ files_t $ threshold_t $ report_only_t)
+
 let main =
   let doc =
     "reproduction of 'Memory Persistency' (ISCA 2014): persistency models, \
@@ -918,6 +1066,6 @@ let main =
     [ table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; validate_cmd; recovery_cmd;
       kv_cmd; trace_cmd; analyze_cmd; graph_cmd; ablation_cmd; calibrate_cmd;
       cache_cmd; wear_cmd; consistency_cmd; explore_cmd; litmus_cmd;
-      machine_cmd ]
+      machine_cmd; perf_cmd ]
 
 let () = exit (Cmd.eval main)

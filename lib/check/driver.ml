@@ -4,6 +4,7 @@ module Om = Obs.Metrics
 
 let m_distinct = Om.counter Om.default "check.distinct_graphs"
 let m_duplicates = Om.counter Om.default "check.duplicate_graphs"
+let m_sched_rate = Om.gauge_max Om.default "check.schedules_per_sec"
 
 type instance = {
   graph : Ps.Persist_graph.t;
@@ -29,7 +30,11 @@ let check ?gran ?max_schedules ?(jobs = 1) ?(stop_on_failure = true) ~strategy
   (* Called from worker domains under [explore_par]: the fingerprint
      set and accounting are mutex-protected; the recovery check itself
      runs outside the lock (each instance is worker-private). *)
+  (* Total schedules are unknown up front, so the heartbeat shows a
+     running count and rate rather than an ETA. *)
+  let prog = Obs.Perfscope.progress_start "dpor schedules" in
   let on_exec sched inst =
+    Obs.Perfscope.progress_step prog;
     let fp = Ps.Graph_export.fingerprint inst.graph in
     let fresh =
       Mutex.protect mu (fun () ->
@@ -61,10 +66,17 @@ let check ?gran ?max_schedules ?(jobs = 1) ?(stop_on_failure = true) ~strategy
             if stop_on_failure then Dpor.Stop else Dpor.Continue)
     end
   in
-  let stats =
-    if jobs > 1 then Dpor.explore_par ?gran ?max_schedules ~jobs ~on_exec run
-    else Dpor.explore ?gran ?max_schedules ~on_exec run
+  let stats, span =
+    let span = Obs.Perfscope.start () in
+    let stats =
+      if jobs > 1 then Dpor.explore_par ?gran ?max_schedules ~jobs ~on_exec run
+      else Dpor.explore ?gran ?max_schedules ~on_exec run
+    in
+    (stats, Obs.Perfscope.finish span)
   in
+  Obs.Perfscope.progress_finish prog;
+  Obs.Perfscope.throughput m_sched_rate ~items:stats.Dpor.schedules
+    ~seconds:span.Obs.Perfscope.wall_s;
   { stats;
     distinct = Hashtbl.length seen;
     checked = !checked;

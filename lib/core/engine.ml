@@ -17,6 +17,7 @@ let m_labels = M.counter M.default "engine.labels"
 let m_flushes = M.counter M.default "engine.flushes"
 let m_fences = M.counter M.default "engine.fences"
 let m_cp = M.gauge_max M.default "engine.critical_path_max"
+let m_events_rate = M.gauge_max M.default "engine.events_per_sec"
 let m_level = M.histogram M.default "engine.persist_level"
 let m_coalesce_run = M.histogram M.default "engine.coalesce_run_length"
 
@@ -425,7 +426,19 @@ let observe t ev =
     | Some r -> incr r
     | None -> Hashtbl.add t.labels name (ref 1))
 
-let observe_trace t trace = Memsim.Trace.iter (observe t) trace
+(* Whole-trace replay is the hot loop; when the registry is live, time
+   it and keep the best events/sec the process reached.  Disabled, the
+   extra cost is one boolean load. *)
+let observe_trace t trace =
+  if Obs.Perfscope.enabled () then begin
+    let before = t.events in
+    let span = Obs.Perfscope.start () in
+    Memsim.Trace.iter (observe t) trace;
+    let d = Obs.Perfscope.finish span in
+    Obs.Perfscope.throughput m_events_rate ~items:(t.events - before)
+      ~seconds:d.Obs.Perfscope.wall_s
+  end
+  else Memsim.Trace.iter (observe t) trace
 
 let critical_path t = t.max_level
 let persist_events t = t.persist_events

@@ -1,12 +1,19 @@
 type counter = { c_live : bool ref; c_value : int Atomic.t }
 type gauge = { g_live : bool ref; g_max : float Atomic.t }
 
+(* Raw-sample capacity per histogram: the first [sample_cap]
+   observations are kept verbatim so the JSON dump can report exact
+   p95/p99 tails (fixed buckets alone cannot). *)
+let sample_cap = 4096
+
 type histogram = {
   h_live : bool ref;
   h_bounds : float array;  (* ascending upper bounds *)
   h_counts : int Atomic.t array;  (* length = bounds + 1 (overflow) *)
   h_count : int Atomic.t;
   h_sum : float Atomic.t;
+  h_samples : float array;  (* first [sample_cap] raw observations *)
+  h_sample_next : int Atomic.t;  (* next raw slot to claim (may exceed cap) *)
 }
 
 type instrument =
@@ -107,7 +114,9 @@ let histogram r ?(buckets = default_buckets) name =
             h_counts =
               Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
             h_count = Atomic.make 0;
-            h_sum = Atomic.make 0. })
+            h_sum = Atomic.make 0.;
+            h_samples = Array.make sample_cap 0.;
+            h_sample_next = Atomic.make 0 })
       (function
         | Histogram h as i ->
           if h.h_bounds = buckets then Ok i else Error "bucket layout"
@@ -125,11 +134,24 @@ let observe h x =
   if !(h.h_live) then begin
     ignore (Atomic.fetch_and_add h.h_counts.(bucket_index h.h_bounds x) 1);
     ignore (Atomic.fetch_and_add h.h_count 1);
-    atomic_add_float h.h_sum x
+    atomic_add_float h.h_sum x;
+    (* fetch_and_add claims a unique raw slot, so concurrent domains
+       never write the same index *)
+    let slot = Atomic.fetch_and_add h.h_sample_next 1 in
+    if slot < sample_cap then h.h_samples.(slot) <- x
   end
 
 let histogram_count h = Atomic.get h.h_count
 let histogram_sum h = Atomic.get h.h_sum
+
+let histogram_samples h =
+  let n = min (Atomic.get h.h_sample_next) sample_cap in
+  List.init n (fun i -> h.h_samples.(i))
+
+let histogram_percentile h p =
+  match histogram_samples h with
+  | [] -> None
+  | samples -> Some (Pstats.Summary.percentile p samples)
 
 let histogram_buckets h =
   List.init
@@ -150,7 +172,8 @@ let reset r =
       | Histogram h ->
         Array.iter (fun a -> Atomic.set a 0) h.h_counts;
         Atomic.set h.h_count 0;
-        Atomic.set h.h_sum 0.)
+        Atomic.set h.h_sum 0.;
+        Atomic.set h.h_sample_next 0)
     r.instruments;
   Mutex.unlock r.mu
 
@@ -166,11 +189,18 @@ let instrument_json name = function
         ("type", Json.Str "gauge_max");
         ("value", Json.Float (gauge_value g)) ]
   | Histogram h ->
+    let percentile p =
+      match histogram_percentile h p with
+      | Some v -> Json.Float v
+      | None -> Json.Null
+    in
     Json.Obj
       [ ("name", Json.Str name);
         ("type", Json.Str "histogram");
         ("count", Json.Int (histogram_count h));
         ("sum", Json.Float (histogram_sum h));
+        ("p95", percentile 0.95);
+        ("p99", percentile 0.99);
         ( "buckets",
           Json.List
             (List.map

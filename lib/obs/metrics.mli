@@ -75,12 +75,22 @@ val histogram_buckets : histogram -> (float * int) list
     last with bound [infinity].  Counts are per bucket, not
     cumulative. *)
 
+val histogram_samples : histogram -> float list
+(** The raw observations behind the exact percentiles: the first 4096
+    values observed, in observation order (later observations update
+    only the buckets).  Empty until something was observed. *)
+
+val histogram_percentile : histogram -> float -> float option
+(** Exact nearest-rank percentile (via {!Pstats.Summary.percentile})
+    over {!histogram_samples}; [None] when nothing was observed. *)
+
 (** {1 Export} *)
 
 val to_json : registry -> Json.t
 (** [{"metrics": [...]}], instruments sorted by name.  Counters carry
-    ["value"]; maxima ["value"]; histograms ["count"], ["sum"] and
-    ["buckets"] (objects with ["le"] — [null] for overflow — and
-    ["count"]). *)
+    ["value"]; maxima ["value"]; histograms ["count"], ["sum"],
+    ["p95"]/["p99"] (exact tails over the raw-sample window, [null]
+    when empty) and ["buckets"] (objects with ["le"] — [null] for
+    overflow — and ["count"]). *)
 
 val dump_file : registry -> string -> unit

@@ -1,0 +1,199 @@
+type gc_delta = {
+  wall_s : float;
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let alloc_words d = d.minor_words +. d.major_words -. d.promoted_words
+
+(* VmHWM from /proc/self/status ("VmHWM:     123456 kB").  Linux-only;
+   anywhere else the file is absent and we report 0. *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec scan () =
+          match input_line ic with
+          | exception End_of_file -> 0
+          | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              let rest = String.trim (String.sub line 6 (String.length line - 6)) in
+              let kb =
+                match String.index_opt rest ' ' with
+                | Some i -> String.sub rest 0 i
+                | None -> rest
+              in
+              (try int_of_string kb with Failure _ -> 0)
+            else scan ()
+        in
+        scan ())
+
+type span = {
+  t0 : float;
+  gc0 : Gc.stat;
+}
+
+let now () = Unix.gettimeofday ()
+let start () = { t0 = now (); gc0 = Gc.quick_stat () }
+
+let finish s =
+  let t1 = now () in
+  let gc1 = Gc.quick_stat () in
+  (* Clamp at zero: quick_stat's minor_words is an estimate and a
+     same-instant pair can come out marginally negative. *)
+  let pos f = Float.max 0. f in
+  { wall_s = pos (t1 -. s.t0);
+    minor_words = pos (gc1.Gc.minor_words -. s.gc0.Gc.minor_words);
+    major_words = pos (gc1.Gc.major_words -. s.gc0.Gc.major_words);
+    promoted_words = pos (gc1.Gc.promoted_words -. s.gc0.Gc.promoted_words);
+    minor_collections =
+      max 0 (gc1.Gc.minor_collections - s.gc0.Gc.minor_collections);
+    major_collections =
+      max 0 (gc1.Gc.major_collections - s.gc0.Gc.major_collections) }
+
+let measure f =
+  let s = start () in
+  match f () with
+  | v -> (v, finish s)
+  | exception e ->
+    ignore (finish s);
+    raise e
+
+let rate items seconds =
+  if seconds > 0. then float_of_int items /. seconds else 0.
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation *)
+
+module M = Metrics
+
+let enabled () = M.enabled M.default
+
+let c_minor = M.counter M.default "gc.minor_words"
+let c_major = M.counter M.default "gc.major_words"
+let c_promoted = M.counter M.default "gc.promoted_words"
+let c_minor_cols = M.counter M.default "gc.minor_collections"
+let c_major_cols = M.counter M.default "gc.major_collections"
+let g_rss = M.gauge_max M.default "proc.peak_rss_kb"
+
+let account d =
+  M.add c_minor (int_of_float d.minor_words);
+  M.add c_major (int_of_float d.major_words);
+  M.add c_promoted (int_of_float d.promoted_words);
+  M.add c_minor_cols d.minor_collections;
+  M.add c_major_cols d.major_collections;
+  M.observe_max g_rss (float_of_int (peak_rss_kb ()))
+
+let delta_args d =
+  [ ("wall_s", Printf.sprintf "%.6f" d.wall_s);
+    ("minor_words", Printf.sprintf "%.0f" d.minor_words);
+    ("major_words", Printf.sprintf "%.0f" d.major_words);
+    ("promoted_words", Printf.sprintf "%.0f" d.promoted_words);
+    ("minor_collections", string_of_int d.minor_collections);
+    ("major_collections", string_of_int d.major_collections) ]
+
+let with_span ?cat ?args name f =
+  let metered = enabled () in
+  let traced = Tracer.enabled () in
+  if not (metered || traced) then f ()
+  else begin
+    if traced then Tracer.begin_span ?cat ?args name;
+    let s = start () in
+    Fun.protect f ~finally:(fun () ->
+        let d = finish s in
+        if metered then account d;
+        if traced then Tracer.end_span ?cat ~args:(delta_args d) name)
+  end
+
+let throughput g ~items ~seconds = M.observe_max g (rate items seconds)
+
+(* ------------------------------------------------------------------ *)
+(* Live progress heartbeat *)
+
+let progress_on = ref false
+let progress_interval = ref 1.0
+
+let set_progress ?(interval_s = 1.0) on =
+  progress_on := on;
+  progress_interval := Float.max 0. interval_s
+
+let progress_enabled () = !progress_on
+
+type progress = {
+  live : bool;
+  label : string;
+  total : int option;
+  started : float;
+  completed : int Atomic.t;
+  last_emit : float Atomic.t;  (* seconds since [started] *)
+}
+
+let inert =
+  { live = false;
+    label = "";
+    total = None;
+    started = 0.;
+    completed = Atomic.make 0;
+    last_emit = Atomic.make 0. }
+
+let fmt_eta s =
+  if s >= 120. then Printf.sprintf "%.1fmin" (s /. 60.)
+  else Printf.sprintf "%.1fs" s
+
+let render_progress ~label ~completed ?total ~elapsed_s () =
+  let r = if elapsed_s > 0. then float_of_int completed /. elapsed_s else 0. in
+  let rate_s = if r > 0. then Printf.sprintf "%.1f/s" r else "?/s" in
+  match total with
+  | Some total ->
+    let pct =
+      if total > 0 then 100. *. float_of_int completed /. float_of_int total
+      else 0.
+    in
+    let eta =
+      if r > 0. && completed <= total then
+        fmt_eta (float_of_int (total - completed) /. r)
+      else "?"
+    in
+    Printf.sprintf "%s: %d/%d (%.1f%%) %s eta %s" label completed total pct
+      rate_s eta
+  | None -> Printf.sprintf "%s: %d done, %s" label completed rate_s
+
+let progress_start ?total label =
+  if not !progress_on then inert
+  else
+    { live = true;
+      label;
+      total;
+      started = now ();
+      completed = Atomic.make 0;
+      last_emit = Atomic.make 0. }
+
+let emit p ~elapsed =
+  prerr_string
+    (render_progress ~label:p.label
+       ~completed:(Atomic.get p.completed)
+       ?total:p.total ~elapsed_s:elapsed ()
+    ^ "\n");
+  flush stderr
+
+let progress_step p =
+  if p.live then begin
+    Atomic.incr p.completed;
+    let elapsed = now () -. p.started in
+    let last = Atomic.get p.last_emit in
+    (* CAS claims the emission slot so concurrent domains print at most
+       one line per interval. *)
+    if
+      elapsed -. last >= !progress_interval
+      && Atomic.compare_and_set p.last_emit last elapsed
+    then emit p ~elapsed
+  end
+
+let progress_finish p =
+  if p.live then emit p ~elapsed:(now () -. p.started)

@@ -1,16 +1,29 @@
-let activate ?metrics_out ?trace_out () =
+let activate ?metrics_out ?trace_out ?manifest_out ?(progress = false) () =
   (match metrics_out with
   | Some path ->
     Metrics.set_enabled Metrics.default true;
     at_exit (fun () -> Metrics.dump_file Metrics.default path)
   | None -> ());
-  match trace_out with
+  (match trace_out with
   | Some path ->
     Tracer.enable ();
     at_exit (fun () -> Tracer.write_file path)
-  | None -> ()
+  | None -> ());
+  (match manifest_out with
+  | Some path ->
+    (* Captured at exit so a late [set_progress]/jobs decision cannot
+       race it; argv is the full self-description either way. *)
+    at_exit (fun () ->
+        Runinfo.write_file
+          (Runinfo.capture ~tool:(Filename.basename Sys.executable_name) ())
+          path)
+  | None -> ());
+  if progress then Perfscope.set_progress true
 
 let from_env () =
   activate
     ?metrics_out:(Sys.getenv_opt "METRICS_OUT")
-    ?trace_out:(Sys.getenv_opt "TRACE_OUT") ()
+    ?trace_out:(Sys.getenv_opt "TRACE_OUT")
+    ?manifest_out:(Sys.getenv_opt "MANIFEST_OUT")
+    ~progress:(Sys.getenv_opt "PROGRESS" = Some "1")
+    ()

@@ -1,12 +1,18 @@
 (** One-call activation of the observability sinks.
 
-    [activate ?metrics_out ?trace_out ()] enables the default metrics
-    registry and/or the span tracer and registers [at_exit] writers, so
-    a CLI or harness only threads the two file names through.  The CLI
-    exposes them as [--metrics-out] / [--trace-out]; {!from_env} reads
-    [METRICS_OUT] / [TRACE_OUT] for harnesses without flag plumbing
-    (the bench harness, the fuzz tests). *)
+    [activate ?metrics_out ?trace_out ?manifest_out ?progress ()]
+    enables the default metrics registry and/or the span tracer and
+    registers [at_exit] writers, optionally writes a {!Runinfo} run
+    manifest at exit, and switches on the {!Perfscope} stderr progress
+    heartbeat — so a CLI or harness only threads the file names and a
+    flag through.  The CLI exposes them as [--metrics-out] /
+    [--trace-out] / [--manifest-out] / [--progress]; {!from_env} reads
+    [METRICS_OUT] / [TRACE_OUT] / [MANIFEST_OUT] / [PROGRESS=1] for
+    harnesses without flag plumbing (the bench harness, the fuzz
+    tests). *)
 
-val activate : ?metrics_out:string -> ?trace_out:string -> unit -> unit
+val activate :
+  ?metrics_out:string -> ?trace_out:string -> ?manifest_out:string ->
+  ?progress:bool -> unit -> unit
 
 val from_env : unit -> unit

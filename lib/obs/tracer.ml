@@ -39,7 +39,7 @@ let record ph ?(cat = "") ?(args = []) name =
   end
 
 let begin_span ?cat ?args name = record 'B' ?cat ?args name
-let end_span ?cat name = record 'E' ?cat name
+let end_span ?cat ?args name = record 'E' ?cat ?args name
 let instant ?cat ?args name = record 'i' ?cat ?args name
 
 let with_span ?cat ?args name f =

@@ -21,7 +21,9 @@ val clear : unit -> unit
 
 val begin_span : ?cat:string -> ?args:(string * string) list -> string -> unit
 
-val end_span : ?cat:string -> string -> unit
+val end_span : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** ['E'] events may carry args too — {!Perfscope.with_span} attaches
+    the span's GC delta to the closing event. *)
 
 val with_span :
   ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a

@@ -25,6 +25,8 @@ let m_cell_seconds =
   M.histogram M.default "pool.cell_seconds"
     ~buckets:[| 0.001; 0.01; 0.1; 1.; 10.; 100. |]
 
+let m_cells_rate = M.gauge_max M.default "pool.cells_per_sec"
+
 type profile = {
   domains : int;
   wall_seconds : float;
@@ -54,12 +56,14 @@ let run_cell f cell =
   M.observe m_cell_seconds dt;
   (outcome, dt)
 
-(* Runs [run_cell] under a tracing span named after the cell.  The span
-   is emitted from the executing domain, so its tid in the trace is the
-   domain that owned the cell. *)
+(* Runs [run_cell] under a GC-accounted tracing span named after the
+   cell.  The span is emitted from the executing domain, so its tid in
+   the trace is the domain that owned the cell; Perfscope attaches the
+   cell's allocation delta to the closing event and feeds the gc.*
+   counters. *)
 let run_cell_traced ~label ~index f cell =
-  if Obs.Tracer.enabled () then
-    Obs.Tracer.with_span ~cat:"cell"
+  if Obs.Perfscope.enabled () || Obs.Tracer.enabled () then
+    Obs.Perfscope.with_span ~cat:"cell"
       ~args:[ ("index", string_of_int index) ]
       (label index cell)
       (fun () -> run_cell f cell)
@@ -123,6 +127,12 @@ let map_cells_profiled ?domains ?(label = fun i _ -> Printf.sprintf "cell %d" i)
   let times = Array.make n 0. in
   M.incr m_sweeps;
   M.observe_max m_domains (float_of_int workers);
+  (* Opt-in heartbeat: one stderr line per interval with completed/total
+     and an ETA, so long sweeps are observable in flight. *)
+  let prog =
+    Obs.Perfscope.progress_start ~total:n
+      (Printf.sprintf "sweep (%d cells, %d domains)" n workers)
+  in
   let t0 = now () in
   if workers <= 1 then
     (* Sequential fallback: no domain is spawned, cells run in input
@@ -131,7 +141,8 @@ let map_cells_profiled ?domains ?(label = fun i _ -> Printf.sprintf "cell %d" i)
       (fun i cell ->
         let outcome, dt = run_cell_traced ~label ~index:i f cell in
         slots.(i) <- outcome;
-        times.(i) <- dt)
+        times.(i) <- dt;
+        Obs.Perfscope.progress_step prog)
       cells
   else begin
     let deques =
@@ -165,6 +176,7 @@ let map_cells_profiled ?domains ?(label = fun i _ -> Printf.sprintf "cell %d" i)
           let outcome, dt = run_cell_traced ~label ~index:i f cells.(i) in
           slots.(i) <- outcome;
           times.(i) <- dt;
+          Obs.Perfscope.progress_step prog;
           loop ()
       in
       loop ()
@@ -176,6 +188,8 @@ let map_cells_profiled ?domains ?(label = fun i _ -> Printf.sprintf "cell %d" i)
     Array.iter Domain.join spawned
   end;
   let wall_seconds = now () -. t0 in
+  Obs.Perfscope.progress_finish prog;
+  Obs.Perfscope.throughput m_cells_rate ~items:n ~seconds:wall_seconds;
   let results = collect ~label cells slots in
   let profile =
     { domains = workers;

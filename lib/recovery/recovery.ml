@@ -4,6 +4,7 @@ module Om = Obs.Metrics
 let m_checks = Om.counter Om.default "recovery.checks"
 let m_prefixes = Om.counter Om.default "recovery.prefixes"
 let m_violations = Om.counter Om.default "recovery.violations"
+let m_inject_rate = Om.gauge_max Om.default "recovery.injections_per_sec"
 
 let prefix_buckets = Om.pow2_buckets 13
 
@@ -52,9 +53,14 @@ let traced ~strategy ~graph f =
 let check ~graph ~capacity ~strategy observer =
   traced ~strategy ~graph @@ fun () ->
   Om.incr m_checks;
+  let span =
+    if Om.enabled Om.default then Some (Obs.Perfscope.start ()) else None
+  in
   let total = P.Persist_graph.node_count graph in
   let checked = ref 0 in
+  let injected = ref 0 in
   let try_prefix cut =
+    incr injected;
     let image = P.Observer.image_of_cut graph cut ~capacity in
     Om.incr m_prefixes;
     Om.observe m_prefix_size (float_of_int (P.Iset.cardinal cut));
@@ -93,6 +99,12 @@ let check ~graph ~capacity ~strategy observer =
       in
       loop 0
   in
+  (match span with
+  | Some s ->
+    let d = Obs.Perfscope.finish s in
+    Obs.Perfscope.throughput m_inject_rate ~items:!injected
+      ~seconds:d.Obs.Perfscope.wall_s
+  | None -> ());
   match result with
   | Ok () -> Ok { prefixes = !checked; nodes = total }
   | Error f -> Error f

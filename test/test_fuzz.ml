@@ -88,9 +88,19 @@ let traced ~name ~seed f =
       name f
   else f ()
 
-(* One fuzz campaign: [count] seeded traces against one configuration. *)
+let m_iter_rate =
+  Obs.Metrics.gauge_max Obs.Metrics.default "fuzz.iterations_per_sec"
+
+(* One fuzz campaign: [count] seeded traces against one configuration.
+   With METRICS_OUT set the campaign reports its iterations/sec; with
+   PROGRESS=1 a long campaign heartbeats on stderr. *)
 let fuzz_config ~name ~count mk_cfg =
-  for seed = 1 to count do
+  let span =
+    if Obs.Perfscope.enabled () then Some (Obs.Perfscope.start ()) else None
+  in
+  let prog = Obs.Perfscope.progress_start ~total:count ("fuzz " ^ name) in
+  (for seed = 1 to count do
+    Obs.Perfscope.progress_step prog;
     traced ~name ~seed @@ fun () ->
     let rng = Random.State.make [| 0x9e3779b9; seed |] in
     let events = gen_trace rng in
@@ -117,7 +127,14 @@ let fuzz_config ~name ~count mk_cfg =
     (match P.Oracle.verify_engine cfg trace with
     | Ok () -> ()
     | Error msg -> fail_with_trace ~name ~seed events "oracle: %s" msg)
-  done
+  done);
+  Obs.Perfscope.progress_finish prog;
+  match span with
+  | Some s ->
+    let d = Obs.Perfscope.finish s in
+    Obs.Perfscope.throughput m_iter_rate ~items:count
+      ~seconds:d.Obs.Perfscope.wall_s
+  | None -> ()
 
 (* KV campaign: instead of random event soup, traces come from the KV
    store workload — structured probe/log/store patterns with locks and

@@ -430,6 +430,324 @@ let test_render_profile_na () =
     (contains "speedup n/a" s);
   Alcotest.(check bool) "p95 present" true (contains "p95" s)
 
+(* Perfscope: measurement layer *)
+
+let test_measure_gc_delta () =
+  let v, d =
+    (* enough allocation to cross several minor collections: OCaml 5's
+       [quick_stat] only folds a domain's minor words in at collection
+       boundaries *)
+    Obs.Perfscope.measure (fun () ->
+        let acc = ref [] in
+        for i = 1 to 500_000 do
+          acc := (i, i) :: !acc
+        done;
+        List.length !acc)
+  in
+  Alcotest.(check int) "thunk result" 500_000 v;
+  Alcotest.(check bool) "wall non-negative" true (d.Obs.Perfscope.wall_s >= 0.);
+  Alcotest.(check bool) "minor words non-negative" true
+    (d.Obs.Perfscope.minor_words >= 0.);
+  Alcotest.(check bool) "major words non-negative" true
+    (d.Obs.Perfscope.major_words >= 0.);
+  Alcotest.(check bool) "promoted words non-negative" true
+    (d.Obs.Perfscope.promoted_words >= 0.);
+  Alcotest.(check bool) "collections non-negative" true
+    (d.Obs.Perfscope.minor_collections >= 0
+    && d.Obs.Perfscope.major_collections >= 0);
+  (* 10k two-field tuples in a list cannot allocate zero words *)
+  Alcotest.(check bool) "allocating thunk shows allocation" true
+    (Obs.Perfscope.alloc_words d > 0.);
+  (* a raising thunk still propagates its exception *)
+  match Obs.Perfscope.measure (fun () -> raise Exit) with
+  | exception Exit -> ()
+  | _ -> Alcotest.fail "exception swallowed"
+
+let test_span_disabled_touches_nothing () =
+  M.reset M.default;
+  Obs.Tracer.clear ();
+  let counter name = M.counter_value (M.counter M.default name) in
+  Obs.Perfscope.with_span "quiet" (fun () ->
+      ignore (Sys.opaque_identity (List.init 10_000 (fun i -> (i, i)))));
+  Alcotest.(check int) "gc.minor_words untouched" 0 (counter "gc.minor_words");
+  Alcotest.(check int) "gc.minor_collections untouched" 0
+    (counter "gc.minor_collections");
+  Alcotest.(check (float 0.)) "rss gauge untouched" 0.
+    (M.gauge_value (M.gauge_max M.default "proc.peak_rss_kb"));
+  Alcotest.(check int) "no trace events" 0 (Obs.Tracer.event_count ())
+
+let test_span_accounts_gc () =
+  M.reset M.default;
+  M.set_enabled M.default true;
+  Fun.protect
+    ~finally:(fun () -> M.set_enabled M.default false)
+    (fun () ->
+      Obs.Perfscope.with_span "loud" (fun () ->
+          ignore (Sys.opaque_identity (List.init 100_000 (fun i -> (i, i)))));
+      let counter name = M.counter_value (M.counter M.default name) in
+      Alcotest.(check bool) "gc.minor_words counted" true
+        (counter "gc.minor_words" > 0);
+      Alcotest.(check bool) "rss gauge sampled" true
+        (M.gauge_value (M.gauge_max M.default "proc.peak_rss_kb") > 0.))
+
+let test_rate_and_rss () =
+  Alcotest.(check (float 0.)) "items per second" 50.
+    (Obs.Perfscope.rate 100 2.0);
+  Alcotest.(check (float 0.)) "zero wall clock yields no rate" 0.
+    (Obs.Perfscope.rate 5 0.);
+  (* Linux: /proc/self/status is present and VmHWM is positive *)
+  Alcotest.(check bool) "peak rss positive" true
+    (Obs.Perfscope.peak_rss_kb () > 0)
+
+let test_render_progress () =
+  let r = Obs.Perfscope.render_progress in
+  Alcotest.(check string) "no rate yet" "x: 0/10 (0.0%) ?/s eta ?"
+    (r ~label:"x" ~completed:0 ~total:10 ~elapsed_s:0. ());
+  Alcotest.(check string) "midway" "x: 5/10 (50.0%) 2.5/s eta 2.0s"
+    (r ~label:"x" ~completed:5 ~total:10 ~elapsed_s:2. ());
+  Alcotest.(check string) "complete" "x: 10/10 (100.0%) 2.5/s eta 0.0s"
+    (r ~label:"x" ~completed:10 ~total:10 ~elapsed_s:4. ());
+  Alcotest.(check string) "long etas switch to minutes"
+    "x: 1/241 (0.4%) 1.0/s eta 4.0min"
+    (r ~label:"x" ~completed:1 ~total:241 ~elapsed_s:1. ());
+  Alcotest.(check string) "no total: count and rate" "y: 300 done, 150.0/s"
+    (r ~label:"y" ~completed:300 ~elapsed_s:2. ())
+
+let test_progress_scope () =
+  Alcotest.(check bool) "off by default" false
+    (Obs.Perfscope.progress_enabled ());
+  (* disabled: the scope is inert *)
+  let p = Obs.Perfscope.progress_start ~total:2 "inert" in
+  Obs.Perfscope.progress_step p;
+  Obs.Perfscope.progress_finish p;
+  (* enabled: stepping and finishing emit to stderr without error *)
+  Obs.Perfscope.set_progress ~interval_s:0. true;
+  Fun.protect
+    ~finally:(fun () -> Obs.Perfscope.set_progress false)
+    (fun () ->
+      Alcotest.(check bool) "enabled" true (Obs.Perfscope.progress_enabled ());
+      let p = Obs.Perfscope.progress_start ~total:3 "test progress" in
+      for _ = 1 to 3 do
+        Obs.Perfscope.progress_step p
+      done;
+      Obs.Perfscope.progress_finish p)
+
+(* Histogram raw-sample percentiles *)
+
+let test_histogram_percentiles () =
+  let r = M.create () in
+  M.set_enabled r true;
+  let h = M.histogram r "h" ~buckets:(M.pow2_buckets 8) in
+  let empty = M.histogram r "empty" ~buckets:(M.pow2_buckets 8) in
+  for i = 1 to 100 do
+    M.observe h (float_of_int i)
+  done;
+  let samples = M.histogram_samples h in
+  Alcotest.(check int) "all observations sampled" 100 (List.length samples);
+  Alcotest.(check (option (float 0.))) "p95 matches Pstats"
+    (Some (Pstats.Summary.percentile 0.95 samples))
+    (M.histogram_percentile h 0.95);
+  Alcotest.(check (option (float 0.))) "p95 of 1..100" (Some 95.)
+    (M.histogram_percentile h 0.95);
+  Alcotest.(check (option (float 0.))) "p99 of 1..100" (Some 99.)
+    (M.histogram_percentile h 0.99);
+  Alcotest.(check (option (float 0.))) "empty percentile is none" None
+    (M.histogram_percentile empty 0.95);
+  (* the JSON dump carries p95/p99 for populated histograms *)
+  let dump = parse (J.to_string (M.to_json r)) in
+  let hj = find_metric dump "h" in
+  (match (J.to_float (member "p95" hj), J.to_float (member "p99" hj)) with
+  | Some p95, Some p99 ->
+    Alcotest.(check (float 0.)) "dump p95" 95. p95;
+    Alcotest.(check (float 0.)) "dump p99" 99. p99
+  | _ -> Alcotest.fail "p95/p99 not numeric in dump");
+  (match member "p95" (find_metric dump "empty") with
+  | J.Null -> ()
+  | j -> Alcotest.failf "empty histogram p95 should be null, got %s"
+           (J.to_string j));
+  M.reset r;
+  Alcotest.(check int) "reset drops samples" 0
+    (List.length (M.histogram_samples h))
+
+(* Runinfo: manifests, bench files, the regression gate *)
+
+module R = Obs.Runinfo
+
+let test_manifest_roundtrip () =
+  let m = R.capture ~tool:"test" ~jobs:2 ~knobs:[ ("quick", "1") ] () in
+  Alcotest.(check bool) "summary mentions the tool" true
+    (String.length (R.summary m) > 4);
+  Alcotest.(check string) "ocaml version captured" Sys.ocaml_version
+    m.R.ocaml;
+  Alcotest.(check bool) "cores positive" true (m.R.cores > 0);
+  match R.of_json (parse (J.to_string (R.to_json m))) with
+  | Ok m' -> Alcotest.(check bool) "manifest round-trips" true (m = m')
+  | Error e -> Alcotest.failf "manifest decode: %s" e
+
+let mk_entry ?(kind = "micro") ?(rate_unit = "runs/s") name wall_s rate =
+  { R.name; kind; wall_s; rate; rate_unit;
+    alloc_words = 1234.5; peak_rss_kb = 4096 }
+
+let test_bench_roundtrip () =
+  let b =
+    { R.run = R.capture ~tool:"bench" ();
+      entries =
+        [ mk_entry "repro:table1" 1.25 1.0e6 ~kind:"reproduction"
+            ~rate_unit:"events/s";
+          mk_entry "micro:engine \"quoted\"" 0.001 980.7 ] }
+  in
+  match R.bench_of_json (parse (J.to_string (R.bench_to_json b))) with
+  | Ok b' -> Alcotest.(check bool) "bench round-trips" true (b = b')
+  | Error e -> Alcotest.failf "bench decode: %s" e
+
+let test_bench_schema_guard () =
+  match R.bench_of_json (parse "{\"schema\": \"something-else/9\"}") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong schema accepted"
+
+(* The regression gate on synthetic manifests: within threshold, wall
+   regression, rate regression, improvement, dropped/new entries and a
+   zero baseline. *)
+let test_compare_benches () =
+  let run = R.capture ~tool:"bench" () in
+  let base =
+    { R.run;
+      entries =
+        [ mk_entry "ok" 1.0 100.; mk_entry "slow-wall" 1.0 100.;
+          mk_entry "slow-rate" 1.0 100.; mk_entry "improved" 1.0 100.;
+          mk_entry "dropped" 1.0 100.; mk_entry "zero-base" 0. 0. ] }
+  in
+  let cand =
+    { R.run;
+      entries =
+        [ mk_entry "ok" 1.05 99.; mk_entry "slow-wall" 1.5 100.;
+          mk_entry "slow-rate" 1.0 80.; mk_entry "improved" 0.5 200.;
+          mk_entry "added" 1.0 100.; mk_entry "zero-base" 5.0 50. ] }
+  in
+  let c = R.compare_benches ~threshold_pct:10. base cand in
+  Alcotest.(check int) "shared entries compared" 5 (List.length c.R.deltas);
+  Alcotest.(check (list string)) "dropped entry noticed" [ "dropped" ]
+    c.R.only_base;
+  Alcotest.(check (list string)) "new entry noticed" [ "added" ] c.R.only_cand;
+  Alcotest.(check (list string)) "exactly the regressions flagged"
+    [ "slow-wall"; "slow-rate" ]
+    (List.map (fun d -> d.R.d_name) c.R.regressions);
+  let delta name = List.find (fun d -> d.R.d_name = name) c.R.deltas in
+  Alcotest.(check (float 1e-9)) "wall delta" 50. (delta "slow-wall").R.wall_pct;
+  Alcotest.(check (float 1e-9)) "rate delta" (-20.)
+    (delta "slow-rate").R.rate_pct;
+  Alcotest.(check bool) "within threshold passes" false (delta "ok").R.regressed;
+  Alcotest.(check bool) "improvement passes" false
+    (delta "improved").R.regressed;
+  (* a zero baseline yields 0% deltas — nothing meaningful to gate on *)
+  Alcotest.(check (float 0.)) "zero baseline wall" 0.
+    (delta "zero-base").R.wall_pct;
+  Alcotest.(check bool) "zero baseline never regresses" false
+    (delta "zero-base").R.regressed;
+  (* a -20% doctored candidate trips the default 10% gate everywhere *)
+  let doctored =
+    { R.run;
+      entries =
+        List.map
+          (fun (e : R.entry) ->
+            { e with R.wall_s = e.R.wall_s *. 1.25; rate = e.R.rate *. 0.8 })
+          base.R.entries }
+  in
+  let c2 = R.compare_benches ~threshold_pct:10. base doctored in
+  Alcotest.(check int) "doctored copy regresses every gated entry" 5
+    (List.length c2.R.regressions)
+
+let test_load_bench_errors () =
+  (match R.load_bench "/nonexistent/bench.json" with
+  | Error msg ->
+    Alcotest.(check bool) "error mentions path" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "missing file loaded");
+  let tmp = Filename.temp_file "bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc "not json";
+      close_out oc;
+      match R.load_bench tmp with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "garbage loaded")
+
+(* CLI surface: every persistsim subcommand must expose the
+   observability flags.  Enumerate the subcommands from the main help
+   so a newly added command cannot dodge the audit. *)
+
+(* Resolved against the test binary so the audit works from both
+   [dune runtest] (cwd = test dir) and [dune exec] (cwd = root). *)
+let persistsim =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    "../bin/persistsim.exe"
+
+let run_lines cmd =
+  let ic = Unix.open_process_in cmd in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> List.rev !lines
+  | _ -> Alcotest.failf "command failed: %s" cmd
+
+let subcommands () =
+  let lines = run_lines (persistsim ^ " --help=plain 2>/dev/null") in
+  let rec section = function
+    | [] -> []
+    | "COMMANDS" :: rest -> rest
+    | _ :: rest -> section rest
+  in
+  let rec collect acc = function
+    | [] -> List.rev acc
+    | line :: rest ->
+      if line <> "" && line.[0] <> ' ' then List.rev acc (* next section *)
+      else
+        let t = String.trim line in
+        (* command lines are the least-indented entries: "name [OPTION]…" *)
+        if
+          t <> ""
+          && String.length line > 7
+          && line.[6] = ' '
+          && line.[7] <> ' '
+        then
+          match String.split_on_char ' ' t with
+          | name :: _ -> collect (name :: acc) rest
+          | [] -> collect acc rest
+        else collect acc rest
+  in
+  collect [] (section lines)
+
+let test_subcommands_expose_obs_flags () =
+  let cmds = subcommands () in
+  Alcotest.(check bool) "subcommands enumerated" true (List.length cmds >= 18);
+  Alcotest.(check bool) "perf is registered" true (List.mem "perf" cmds);
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun cmd ->
+      let help =
+        String.concat "\n"
+          (run_lines (Printf.sprintf "%s %s --help=plain 2>/dev/null"
+                        persistsim cmd))
+      in
+      List.iter
+        (fun flag ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s lists %s" cmd flag)
+            true (contains flag help))
+        [ "--metrics-out"; "--trace-out"; "--manifest-out"; "--progress" ])
+    cmds
+
 let () =
   Alcotest.run "obs"
     [ ( "json",
@@ -462,4 +780,29 @@ let () =
       ( "pool",
         [ Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "render_profile n/a and p95" `Quick
-            test_render_profile_na ] ) ]
+            test_render_profile_na ] );
+      ( "perfscope",
+        [ Alcotest.test_case "measure reports a gc delta" `Quick
+            test_measure_gc_delta;
+          Alcotest.test_case "disabled span touches nothing" `Quick
+            test_span_disabled_touches_nothing;
+          Alcotest.test_case "enabled span accounts gc" `Quick
+            test_span_accounts_gc;
+          Alcotest.test_case "rate and peak rss" `Quick test_rate_and_rss;
+          Alcotest.test_case "render_progress" `Quick test_render_progress;
+          Alcotest.test_case "progress scope" `Quick test_progress_scope ] );
+      ( "histogram percentiles",
+        [ Alcotest.test_case "p95/p99 via raw samples" `Quick
+            test_histogram_percentiles ] );
+      ( "runinfo",
+        [ Alcotest.test_case "manifest round-trip" `Quick
+            test_manifest_roundtrip;
+          Alcotest.test_case "bench round-trip" `Quick test_bench_roundtrip;
+          Alcotest.test_case "schema guard" `Quick test_bench_schema_guard;
+          Alcotest.test_case "regression gate on synthetic manifests" `Quick
+            test_compare_benches;
+          Alcotest.test_case "load errors mention the path" `Quick
+            test_load_bench_errors ] );
+      ( "cli",
+        [ Alcotest.test_case "subcommands expose obs flags" `Quick
+            test_subcommands_expose_obs_flags ] ) ]
