@@ -2,7 +2,7 @@
 # the parallel sweeps and the fuzzer; see README "Running the
 # evaluation in parallel".
 
-.PHONY: all build test bench bench-quick bench-json fuzz fmt-check smoke explore litmus ci clean
+.PHONY: all build test bench bench-quick bench-json fuzz fmt-check smoke serve explore litmus ci clean
 
 all: build
 
@@ -48,8 +48,15 @@ smoke: build
 	grep -q "digraph persist_graph" /tmp/persistsim-graph.dot
 	dune exec bin/persistsim.exe -- kv --inserts 100 > /dev/null
 	dune exec bin/persistsim.exe -- kv --recovery --samples 100 > /dev/null
-	dune exec bin/persistsim.exe -- perf BENCH_PR7.json > /dev/null
-	dune exec bin/persistsim.exe -- perf BENCH_PR7.json BENCH_PR7.json > /dev/null
+	dune exec bin/persistsim.exe -- perf BENCH_PR8.json > /dev/null
+	dune exec bin/persistsim.exe -- perf BENCH_PR7.json BENCH_PR8.json --report-only > /dev/null
+
+# Served KV smoke: a small sweep (the amortization table), group-commit
+# recovery injection, and the buggy batcher must be caught.
+serve: build
+	dune exec bin/persistsim.exe -- serve --requests 768 --rate 64 --keys 96 --shards 1,2 --batch 1,8,32 > /dev/null
+	dune exec bin/persistsim.exe -- serve --recovery --shards 2 --batch 3 --requests 24 --keys 16 --rate 1000 > /dev/null
+	dune exec bin/persistsim.exe -- serve --recovery --buggy --shards 1 --batch 3 --requests 24 --keys 16 --rate 1000 | grep -q "RECOVERY VIOLATION"
 
 # DPOR exploration smoke: the queue sweep against the brute-force
 # oracle (same graph census, far fewer schedules), and the buggy KV
@@ -68,7 +75,7 @@ litmus: build
 	dune exec bin/persistsim.exe -- machine --inserts 2000 > /dev/null
 
 # What .github/workflows/ci.yml runs.
-ci: fmt-check build test smoke explore litmus
+ci: fmt-check build test smoke serve explore litmus
 
 clean:
 	dune clean

@@ -181,6 +181,14 @@ let reproduce () =
       in
       on_profile kv.Experiments.Kv_exp.profile;
       print_string (Experiments.Kv_exp.render kv));
+  repro_phase "serve" ~items:(min repro_inserts 4096) (fun () ->
+      banner "Served KV (group-commit amortization under open-loop load)";
+      let sv =
+        Experiments.Serve_exp.run ~jobs ~requests:(min repro_inserts 4096)
+          ~shards_list:[ 1; 2 ] ()
+      in
+      on_profile sv.Experiments.Serve_exp.profile;
+      print_string (Experiments.Serve_exp.render sv));
   repro_phase "cache-impl" ~items:(4 * micro_inserts) (fun () ->
       banner "Model vs cache implementation";
       print_string
@@ -271,6 +279,15 @@ let bench_kv_recovery =
          with
          | Ok _ -> ()
          | Error f -> failwith (Recovery.render_failure f)))
+
+let bench_serve =
+  Test.make ~name:"workload:serve-group-commit"
+    (Staged.stage (fun () ->
+         ignore
+           (Serve.Sim.run
+              (Experiments.Serve_exp.serve_params
+                 ~requests:micro_inserts ~rate:64. ~key_space:96 ~shards:1
+                 ~batch:8 Serve.Sim.epoch_model))))
 
 (* one Test.make per table/figure: time the full regeneration pipeline
    at reduced size *)
@@ -382,7 +399,8 @@ let tests =
     bench_engine Persistency.Config.Strict;
     bench_engine Persistency.Config.Epoch;
     bench_engine Persistency.Config.Strand;
-    bench_recovery_sampling; bench_kv_store; bench_kv_recovery; bench_drain;
+    bench_recovery_sampling; bench_kv_store; bench_kv_recovery; bench_serve;
+    bench_drain;
     bench_epoch_hw; bench_txn_commit; bench_explore_dpor;
     bench_explore_brute; bench_litmus_brute; bench_litmus_dpor ]
 

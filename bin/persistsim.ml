@@ -114,6 +114,16 @@ let model_t =
   Arg.(value & opt conv_model Experiments.Run.epoch_point
        & info [ "model" ] ~docv:"MODEL" ~doc)
 
+let dist_conv =
+  let parse s =
+    match Workloads.Keygen.dist_of_string s with
+    | Ok d -> Ok d
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf d -> Format.pp_print_string ppf (Workloads.Keygen.dist_name d) )
+
 (* table1 *)
 
 let table1_cmd =
@@ -333,11 +343,11 @@ let recovery_cmd =
 (* kv *)
 
 let kv_cmd =
-  let sweep total_ops csv jobs =
+  let sweep total_ops dist csv jobs =
     let total_ops =
       Option.value ~default:Experiments.Kv_exp.default_total_ops total_ops
     in
-    let t = Experiments.Kv_exp.run ~jobs ~total_ops () in
+    let t = Experiments.Kv_exp.run ~jobs ~total_ops ~dist () in
     rendering (fun () ->
         print_string
           (if csv then Experiments.Kv_exp.to_csv t
@@ -373,9 +383,16 @@ let kv_cmd =
       Printf.printf "RECOVERY VIOLATION: %s\n" (Recovery.render_failure f);
       if not buggy then exit 1
   in
-  let run () total_ops csv jobs recovery model threads samples buggy =
+  let run () total_ops dist csv jobs recovery model threads samples buggy =
     if recovery || buggy then failure_inject total_ops model threads samples buggy
-    else sweep total_ops csv jobs
+    else sweep total_ops dist csv jobs
+  in
+  let dist_t =
+    Arg.(value
+         & opt dist_conv Workloads.Keygen.Uniform
+         & info [ "dist" ] ~docv:"DIST"
+             ~doc:"Key popularity for the sweep: $(b,uniform), \
+                   $(b,zipf:THETA) or $(b,hotset:KEYS:PCT).")
   in
   let ops_t =
     Arg.(value & opt (some int) None & info [ "inserts"; "ops" ] ~docv:"N"
@@ -401,8 +418,145 @@ let kv_cmd =
        ~doc:"KV store workload: sweep persist critical path per operation \
              over models x threads x load, or failure-inject one \
              configuration (--recovery).")
-    Term.(const run $ obs_t $ ops_t $ csv_t $ jobs_t $ recovery_t $ model_t
-          $ threads_t 2 $ samples_t $ buggy_t)
+    Term.(const run $ obs_t $ ops_t $ dist_t $ csv_t $ jobs_t $ recovery_t
+          $ model_t $ threads_t 2 $ samples_t $ buggy_t)
+
+(* serve *)
+
+let serve_cmd =
+  let model_conv =
+    Arg.enum
+      (List.map
+         (fun (m : Serve.Sim.model) -> (m.Serve.Sim.label, m))
+         (Serve.Sim.buggy_model :: Serve.Sim.models))
+  in
+  let sweep requests clients rate mix dist key_space shards batches csv jobs =
+    let requests = Option.value ~default:4096 requests in
+    let t =
+      Experiments.Serve_exp.run ~jobs ~requests ~clients ~rate ~read_pct:mix
+        ~dist ~key_space ~shards_list:shards ~batches ()
+    in
+    rendering (fun () ->
+        print_string
+          (if csv then Experiments.Serve_exp.to_csv t
+           else Experiments.Serve_exp.render t));
+    print_profile t.Experiments.Serve_exp.profile
+  in
+  let failure_inject requests clients rate mix dist key_space shards batches
+      samples (model : Serve.Sim.model) buggy =
+    let requests = Option.value ~default:48 requests in
+    let model = if buggy then Serve.Sim.buggy_model else model in
+    let shards = List.hd shards and batch = List.hd batches in
+    let p =
+      Experiments.Serve_exp.serve_params ~requests ~clients ~rate
+        ~read_pct:mix ~dist ~key_space ~shards ~batch model
+    in
+    Printf.printf "serve / %s: %d shards, batch %d, %d requests\n"
+      model.Serve.Sim.label shards batch requests;
+    let strategy g = Recovery.auto ~samples ~seed:p.Serve.Sim.load.Serve.Loadgen.seed g in
+    let report, verdict = Serve.Sim.verify ~strategy p in
+    Printf.printf
+      "served %d (%d shed), %d group commits, mean fill %.2f, cp/put %.3f\n"
+      report.Serve.Sim.served report.Serve.Sim.shed report.Serve.Sim.batches
+      report.Serve.Sim.mean_fill report.Serve.Sim.cp_per_put;
+    let is_buggy = String.equal model.Serve.Sim.label "epoch-buggy" in
+    match verdict with
+    | Ok (v : Serve.Sim.verify_result) ->
+      Printf.printf
+        "group-commit recovery holds: %d crash states over %d persists \
+         across %d shards land on a batch boundary\n"
+        v.Serve.Sim.v_prefixes v.Serve.Sim.v_nodes v.Serve.Sim.v_shards;
+      if is_buggy then begin
+        print_endline
+          "ERROR: the buggy batcher survived failure injection (bug not \
+           caught)";
+        exit 1
+      end
+    | Error (shard, f) ->
+      Printf.printf "RECOVERY VIOLATION (shard %d): %s\n" shard
+        (Recovery.render_failure f);
+      if not is_buggy then exit 1
+  in
+  let run () requests clients rate mix dist key_space shards batches csv jobs
+      recovery samples model buggy =
+    if recovery || buggy then
+      failure_inject requests clients rate mix dist key_space shards batches
+        samples model buggy
+    else sweep requests clients rate mix dist key_space shards batches csv jobs
+  in
+  let requests_t =
+    Arg.(value & opt (some int) None & info [ "requests" ] ~docv:"N"
+           ~doc:"Requests in the open-loop stream (default: 4096 for the \
+                 sweep, 48 for --recovery, where every shard's persist \
+                 graph is recorded and failure-injected).")
+  in
+  let clients_t =
+    Arg.(value & opt int 2048 & info [ "clients" ] ~docv:"N"
+           ~doc:"Concurrent client sessions.")
+  in
+  let rate_t =
+    Arg.(value & opt float 96. & info [ "rate" ] ~docv:"R"
+           ~doc:"Mean arrivals per persist-critical-path unit.")
+  in
+  let mix_t =
+    Arg.(value & opt int 25 & info [ "mix" ] ~docv:"PCT"
+           ~doc:"Read percentage of the request mix.")
+  in
+  let zipf_t =
+    Arg.(value
+         & opt dist_conv (Workloads.Keygen.Zipf 0.99)
+         & info [ "zipf"; "dist" ] ~docv:"DIST"
+             ~doc:"Key popularity: $(b,uniform), $(b,zipf:THETA) or \
+                   $(b,hotset:KEYS:PCT).")
+  in
+  let key_space_t =
+    Arg.(value & opt int 512 & info [ "keys" ] ~docv:"N"
+           ~doc:"Key space size.")
+  in
+  let shards_t =
+    Arg.(value & opt (list int) [ 1; 2; 4 ]
+         & info [ "shards" ] ~docv:"LIST"
+             ~doc:"Shard counts to sweep (comma-separated); --recovery uses \
+                   the first.")
+  in
+  let batches_t =
+    Arg.(value & opt (list int) [ 1; 8; 32 ]
+         & info [ "batch" ] ~docv:"LIST"
+             ~doc:"Group-commit batch sizes to sweep (comma-separated); \
+                   --recovery uses the first.")
+  in
+  let recovery_t =
+    Arg.(value & flag & info [ "recovery" ]
+           ~doc:"Failure injection instead of the sweep: record every \
+                 shard's persist graph and check that each legal crash \
+                 state recovers to a group-commit batch boundary.")
+  in
+  let samples_t =
+    Arg.(value & opt int 2000 & info [ "samples" ] ~docv:"N"
+           ~doc:"Crash states sampled per shard graph with --recovery \
+                 (small graphs are checked exhaustively).")
+  in
+  let smodel_t =
+    Arg.(value & opt model_conv Serve.Sim.epoch_model
+         & info [ "model" ] ~docv:"MODEL"
+             ~doc:"Model for --recovery: strict, epoch, strand or \
+                   epoch-buggy.")
+  in
+  let buggy_t =
+    Arg.(value & flag & info [ "buggy" ]
+           ~doc:"With --recovery: use the batcher that seals the commit \
+                 marker without the slots->marker barrier, to demonstrate a \
+                 detectable group-commit bug.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Served KV: open-loop load over sharded group-commit stores. \
+             Sweep persist-barrier cost and latency percentiles over models \
+             x shards x batch sizes, or failure-inject one configuration \
+             (--recovery).")
+    Term.(const run $ obs_t $ requests_t $ clients_t $ rate_t $ mix_t
+          $ zipf_t $ key_space_t $ shards_t $ batches_t $ csv_t $ jobs_t
+          $ recovery_t $ samples_t $ smodel_t $ buggy_t)
 
 (* trace *)
 
@@ -1066,6 +1220,6 @@ let main =
     [ table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; validate_cmd; recovery_cmd;
       kv_cmd; trace_cmd; analyze_cmd; graph_cmd; ablation_cmd; calibrate_cmd;
       cache_cmd; wear_cmd; consistency_cmd; explore_cmd; litmus_cmd;
-      machine_cmd; perf_cmd ]
+      machine_cmd; perf_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

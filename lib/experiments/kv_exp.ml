@@ -65,7 +65,7 @@ let default_total_ops = 4096
 
 let kv_params ?(threads = 1) ?(total_ops = default_total_ops) ?(get_every = 4)
     ?(groups = default_groups) ?(group_size = default_group_size)
-    ?(load = 0.5) ?(seed = 42) mode =
+    ?(load = 0.5) ?(seed = 42) ?(dist = Workloads.Keygen.Uniform) mode =
   if total_ops mod threads <> 0 then
     invalid_arg "Kv_exp.kv_params: total_ops must divide by threads";
   let slots = groups * group_size in
@@ -78,7 +78,8 @@ let kv_params ?(threads = 1) ?(total_ops = default_total_ops) ?(get_every = 4)
     groups;
     group_size;
     seed;
-    policy = Memsim.Machine.Random seed }
+    policy = Memsim.Machine.Random seed;
+    dist }
 
 type cell = {
   model : string;
@@ -100,7 +101,8 @@ type t = {
 let kv_models = [ Run.strict_point; Run.epoch_point; Run.strand_point ]
 
 let run ?(jobs = 1) ?(total_ops = default_total_ops)
-    ?(threads_list = [ 1; 2; 4 ]) ?(loads = [ 0.25; 0.5 ]) ?(seed = 42) () =
+    ?(threads_list = [ 1; 2; 4 ]) ?(loads = [ 0.25; 0.5 ]) ?(seed = 42)
+    ?(dist = Workloads.Keygen.Uniform) () =
   let sweep =
     List.concat_map
       (fun threads ->
@@ -117,7 +119,9 @@ let run ?(jobs = 1) ?(total_ops = default_total_ops)
       ~label:(fun _ (threads, load, (point : Run.model_point)) ->
         Printf.sprintf "kv/%s/%dT/%.0f%%" point.Run.label threads (load *. 100.))
       (fun (threads, load, (point : Run.model_point)) ->
-        let params = kv_params ~threads ~total_ops ~load ~seed point.Run.mode in
+        let params =
+          kv_params ~threads ~total_ops ~load ~seed ~dist point.Run.mode
+        in
         let cfg = Persistency.Config.make point.Run.mode in
         let m = analyze params cfg in
         let ops = m.puts + m.gets in

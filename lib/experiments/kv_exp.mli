@@ -38,10 +38,11 @@ val kv_params :
   ?group_size:int ->
   ?load:float ->
   ?seed:int ->
+  ?dist:Workloads.Keygen.dist ->
   Persistency.Config.mode ->
   Kv.params
 (** Experiment defaults: 1 thread, 4096 ops total, a get every 4th op,
-    a 16x8 table at 50% load, seeded random scheduling.
+    a 16x8 table at 50% load, seeded random scheduling, uniform keys.
     @raise Invalid_argument unless [total_ops] divides by [threads]. *)
 
 val default_total_ops : int
@@ -72,11 +73,13 @@ val run :
   ?threads_list:int list ->
   ?loads:float list ->
   ?seed:int ->
+  ?dist:Workloads.Keygen.dist ->
   unit ->
   t
 (** Sweep threads × loads × models; one {!cell} each.  Defaults:
-    threads 1, 2 and 4, loads 25% and 50%, sequential ([jobs = 1]);
-    results are identical for any [jobs]. *)
+    threads 1, 2 and 4, loads 25% and 50%, sequential ([jobs = 1]),
+    uniform key popularity ([dist]); results are identical for any
+    [jobs]. *)
 
 val cell : t -> string -> int -> float -> cell option
 val render : t -> string

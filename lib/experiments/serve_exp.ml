@@ -1,0 +1,153 @@
+type cell = {
+  model : string;
+  shards : int;
+  batch : int;
+  served : int;
+  shed : int;
+  mean_fill : float;
+  cp_per_put : float;
+  cp_per_op : float;
+  lat_p50 : float;
+  lat_p95 : float;
+  lat_p99 : float;
+  throughput : float;
+}
+
+type t = {
+  requests : int;
+  cells : cell list;
+  profile : Parallel.Pool.profile;
+}
+
+let serve_models = Serve.Sim.models
+
+let serve_params ?(requests = 4096) ?(clients = 2048) ?(rate = 96.)
+    ?(read_pct = 25) ?(dist = Workloads.Keygen.Zipf 0.99) ?(key_space = 512)
+    ?burst ?(seed = 42) ?(queue_cap = 256) ?(group_size = 8) ~shards ~batch
+    (model : Serve.Sim.model) =
+  { Serve.Sim.model;
+    shards;
+    batch;
+    queue_cap;
+    group_size;
+    record_graph = false;
+    load =
+      { Serve.Loadgen.requests;
+        clients;
+        rate;
+        read_pct;
+        dist;
+        key_space;
+        burst;
+        seed } }
+
+let cell_of (r : Serve.Sim.report) =
+  { model = r.Serve.Sim.params.Serve.Sim.model.Serve.Sim.label;
+    shards = r.Serve.Sim.params.Serve.Sim.shards;
+    batch = r.Serve.Sim.params.Serve.Sim.batch;
+    served = r.Serve.Sim.served;
+    shed = r.Serve.Sim.shed;
+    mean_fill = r.Serve.Sim.mean_fill;
+    cp_per_put = r.Serve.Sim.cp_per_put;
+    cp_per_op = r.Serve.Sim.cp_per_op;
+    lat_p50 = r.Serve.Sim.lat_p50;
+    lat_p95 = r.Serve.Sim.lat_p95;
+    lat_p99 = r.Serve.Sim.lat_p99;
+    throughput = r.Serve.Sim.throughput }
+
+let run ?(jobs = 1) ?(requests = 4096) ?(clients = 2048) ?(rate = 96.)
+    ?(read_pct = 25) ?(dist = Workloads.Keygen.Zipf 0.99) ?(key_space = 512)
+    ?burst ?(seed = 42) ?(shards_list = [ 1; 2; 4 ])
+    ?(batches = [ 1; 8; 32 ]) () =
+  let sweep =
+    List.concat_map
+      (fun shards ->
+        List.concat_map
+          (fun batch ->
+            List.map (fun model -> (shards, batch, model)) serve_models)
+          batches)
+      shards_list
+  in
+  let cells, profile =
+    Parallel.Pool.map_cells_profiled ~domains:jobs
+      ~label:(fun _ (shards, batch, (model : Serve.Sim.model)) ->
+        Printf.sprintf "serve/%s/%dS/b%d" model.Serve.Sim.label shards batch)
+      (fun (shards, batch, model) ->
+        let p =
+          serve_params ~requests ~clients ~rate ~read_pct ~dist ~key_space
+            ?burst ~seed ~shards ~batch model
+        in
+        cell_of (Serve.Sim.run p))
+      sweep
+  in
+  { requests; cells; profile }
+
+let cell t model shards batch =
+  List.find_opt
+    (fun c -> String.equal c.model model && c.shards = shards && c.batch = batch)
+    t.cells
+
+let shards_of t = List.sort_uniq compare (List.map (fun c -> c.shards) t.cells)
+let batches_of t = List.sort_uniq compare (List.map (fun c -> c.batch) t.cells)
+
+let render t =
+  let models = List.map (fun (m : Serve.Sim.model) -> m.Serve.Sim.label) serve_models in
+  let columns =
+    ("Shards", Report.Table.Right)
+    :: ("Batch", Report.Table.Right)
+    :: List.map (fun m -> (m ^ " cp/put", Report.Table.Right)) models
+    @ List.map (fun m -> (m ^ " p95", Report.Table.Right)) models
+    @ List.map (fun m -> (m ^ " shed", Report.Table.Right)) models
+  in
+  let table = Report.Table.create ~columns in
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun batch ->
+          let get f fmt =
+            List.map
+              (fun m ->
+                match cell t m shards batch with
+                | Some c -> fmt (f c)
+                | None -> "-")
+              models
+          in
+          Report.Table.add_row table
+            (string_of_int shards
+             :: string_of_int batch
+             :: get
+                  (fun c -> c.cp_per_put)
+                  (Report.Table.fmt_float ~decimals:3)
+            @ get (fun c -> c.lat_p95) (Report.Table.fmt_float ~decimals:1)
+            @ get (fun c -> float_of_int c.shed) (fun f ->
+                  string_of_int (int_of_float f))))
+        (batches_of t))
+    (shards_of t);
+  Printf.sprintf
+    "Served KV: group-commit amortization under open-loop load\n\
+     (%d requests; cp/put = persist-barrier cost per write, p95 = \n\
+     persist-bound latency percentile, shed = overload drops)\n\n\
+     %s"
+    t.requests (Report.Table.render table)
+
+let to_csv t =
+  Report.Csv.to_string
+    ~header:
+      [ "model"; "shards"; "batch"; "served"; "shed"; "mean_fill";
+        "cp_per_put"; "cp_per_op"; "lat_p50"; "lat_p95"; "lat_p99";
+        "throughput" ]
+    (List.map
+       (fun c ->
+         [ c.model;
+           string_of_int c.shards;
+           string_of_int c.batch;
+           string_of_int c.served;
+           string_of_int c.shed;
+           Printf.sprintf "%.4f" c.mean_fill;
+           Printf.sprintf "%.6f" c.cp_per_put;
+           Printf.sprintf "%.6f" c.cp_per_op;
+           Printf.sprintf "%.4f" c.lat_p50;
+           Printf.sprintf "%.4f" c.lat_p95;
+           Printf.sprintf "%.4f" c.lat_p99;
+           Printf.sprintf "%.6f" c.throughput ])
+       t.cells)

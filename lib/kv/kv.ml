@@ -27,6 +27,7 @@ type params = {
   group_size : int;
   seed : int;
   policy : M.policy;
+  dist : Workloads.Keygen.dist;
 }
 
 type layout = {
@@ -59,7 +60,8 @@ let default_params =
     groups = 8;
     group_size = 8;
     seed = 42;
-    policy = M.Round_robin }
+    policy = M.Round_robin;
+    dist = Workloads.Keygen.Uniform }
 
 let explore_params ?(threads = 2) ?(depth = 2) discipline =
   { discipline;
@@ -70,7 +72,8 @@ let explore_params ?(threads = 2) ?(depth = 2) discipline =
     groups = 1;
     group_size = 4;
     seed = 1;
-    policy = M.Round_robin }
+    policy = M.Round_robin;
+    dist = Workloads.Keygen.Uniform }
 
 let discipline_name = function
   | Strict_stores -> "strict-stores"
@@ -92,14 +95,18 @@ let validate (p : params) =
   if p.groups < 1 || p.group_size < 1 then
     invalid_arg "Kv: groups and group_size must be >= 1";
   if p.key_space > p.groups * p.group_size then
-    invalid_arg "Kv: key_space exceeds table capacity (load factor > 1)"
+    invalid_arg "Kv: key_space exceeds table capacity (load factor > 1)";
+  Workloads.Keygen.validate p.dist ~key_space:p.key_space
 
 let pp_params ppf (p : params) =
-  Format.fprintf ppf "%s threads=%d ops=%d keys=%d/%d slots (%d x %d) seed=%d"
+  Format.fprintf ppf "%s threads=%d ops=%d keys=%d/%d slots (%d x %d) seed=%d%s"
     (discipline_name p.discipline)
     p.threads p.ops_per_thread p.key_space
     (p.groups * p.group_size)
     p.groups p.group_size p.seed
+    (match p.dist with
+    | Workloads.Keygen.Uniform -> ""
+    | d -> " dist=" ^ Workloads.Keygen.dist_name d)
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic workload shape *)
@@ -136,14 +143,27 @@ let key_groups (p : params) =
 
 let is_get (p : params) ~seq = p.get_every >= 2 && (seq + 1) mod p.get_every = 0
 
+(* Key for draw index [draw].  Uniform keeps the original mix-based
+   formula bit-for-bit (golden outputs and explorer corpora depend on
+   it); the skewed shapes delegate to Workloads.Keygen, which is an
+   equally pure function of (seed, draw) — the recovery checker's
+   replay works unchanged.  Keygen creation is O(key_space) per call;
+   the KV sweeps keep key_space small, and the serve path builds its
+   own generator once. *)
+let key_of (p : params) ~draw =
+  match p.dist with
+  | Workloads.Keygen.Uniform -> 1 + (mix p.seed draw mod p.key_space)
+  | d ->
+    Workloads.Keygen.key_at
+      (Workloads.Keygen.create d ~key_space:p.key_space ~seed:p.seed)
+      draw
+
 let op_of (p : params) ~tid ~seq =
   let global = (tid * p.ops_per_thread) + seq in
-  if is_get p ~seq then
-    Get { key = 1 + (mix p.seed ((2 * global) + 1) mod p.key_space) }
+  if is_get p ~seq then Get { key = key_of p ~draw:((2 * global) + 1) }
   else
     Put
-      { key = 1 + (mix p.seed (2 * global) mod p.key_space);
-        value = Int64.of_int (global + 1) }
+      { key = key_of p ~draw:(2 * global); value = Int64.of_int (global + 1) }
 
 let written (p : params) =
   let acc = ref [] in

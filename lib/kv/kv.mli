@@ -50,6 +50,12 @@ type params = {
   group_size : int;  (** slots per group *)
   seed : int;
   policy : Memsim.Machine.policy;
+  dist : Workloads.Keygen.dist;
+      (** key-popularity shape for the draw schedule.  [Uniform]
+          reproduces the original mix-based draws bit-for-bit; [Zipf]
+          and [Hotset] delegate to {!Workloads.Keygen} (still a pure
+          function of seed and draw index, so recovery replay works
+          unchanged). *)
 }
 
 type layout = {
@@ -110,6 +116,10 @@ val key_groups : params -> int array
 (** [key_groups p].(k - 1) is the bucket group of key [k] (keys are
     [1 .. key_space]).  Group occupancy never exceeds [group_size], so
     an in-group probe always terminates. *)
+
+val key_of : params -> draw:int -> int
+(** Key for draw index [draw] under [p.dist], in [1, key_space].  Puts
+    draw at even indices, gets at odd ones. *)
 
 val op_of : params -> tid:int -> seq:int -> op
 

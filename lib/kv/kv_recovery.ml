@@ -169,3 +169,229 @@ let verify ~params ~layout ~graph ~strategy =
     ~capacity:(image_capacity layout)
     ~strategy
     (checker ~params ~layout)
+
+(* ------------------------------------------------------------------ *)
+(* Group commit (Kv_group)
+
+   The commit marker makes group recovery simpler and stricter than the
+   per-op path: the marker value B promises batches 0..B-1 are fully
+   durable, so recovery must reproduce {e exactly} the table state after
+   batch B-1 — "lands on a batch boundary" is an equality check, not
+   just an invariant.  Records of uncommitted batches are applied in
+   reverse global order, and only when the slot is torn or still holds
+   that record's new write: a batch's records all share one epoch, so a
+   later record can be durable while an earlier one is missing, and the
+   value condition keeps such holes from corrupting the rollback. *)
+
+type group_recovered = {
+  g_bindings : (int * int64) list;
+  g_committed : int;
+  g_rolled_back : int;
+}
+
+type grec = {
+  batch : int;
+  pos : int;
+  put : Kv_group.put;
+  r_slot : int;
+  r_old_key : int64;
+  r_old_value : int64;
+  r_old_sum : int64;
+}
+
+let flat_records (batches : Kv_group.put list list) =
+  let acc = ref [] and pos = ref 0 in
+  List.iteri
+    (fun batch puts ->
+      List.iter
+        (fun put ->
+          acc := (batch, !pos, put) :: !acc;
+          incr pos)
+        puts)
+    batches;
+  List.rev !acc
+
+(* Intact / absent / torn, judged against the replayed put and the
+   full-record checksum. *)
+type grec_state = Intact of grec | Absent | Torn of string
+
+let read_grec ~(layout : Kv_group.layout) ~group_of image (batch, pos, put) =
+  let off = layout.log_addr + (pos * Kv_group.grec_bytes) in
+  let w0 = get64 image off in
+  let r_old_key = get64 image (off + 8) in
+  let r_old_value = get64 image (off + 16) in
+  let r_old_sum = get64 image (off + 24) in
+  let new_value = get64 image (off + 32) in
+  let rcheck = get64 image (off + 40) in
+  let all_zero =
+    List.for_all (Int64.equal 0L)
+      [ w0; r_old_key; r_old_value; r_old_sum; new_value; rcheck ]
+  in
+  if all_zero then Absent
+  else begin
+    let slot = Int64.to_int w0 in
+    let expected =
+      Kv_group.rec_check ~pos ~slot_index:slot ~old_key:r_old_key
+        ~old_value:r_old_value ~old_sum:r_old_sum ~new_value
+    in
+    if not (Int64.equal rcheck expected) then
+      Torn (Printf.sprintf "record %d fails its checksum" pos)
+    else if slot < 0 || slot >= layout.groups * layout.group_size then
+      Torn (Printf.sprintf "record %d: slot index %d out of range" pos slot)
+    else if not (Int64.equal new_value put.Kv_group.value) then
+      Torn
+        (Printf.sprintf "record %d: new value %Ld but batch %d put %Ld"
+           pos new_value batch put.Kv_group.value)
+    else if
+      match Hashtbl.find_opt group_of put.Kv_group.key with
+      | None -> true
+      | Some g -> slot / layout.group_size <> g
+    then
+      Torn
+        (Printf.sprintf "record %d: slot %d outside key %d's group" pos slot
+           put.Kv_group.key)
+    else if
+      (not (Int64.equal r_old_key 0L))
+      && not (Int64.equal r_old_sum
+                (Kv.slot_sum ~key:r_old_key ~value:r_old_value))
+    then Torn (Printf.sprintf "record %d: saved triple fails checksum" pos)
+    else
+      Intact
+        { batch; pos; put; r_slot = slot; r_old_key; r_old_value; r_old_sum }
+  end
+
+let recover_group ~(layout : Kv_group.layout) ~batches image =
+  let group_of = Hashtbl.create 64 in
+  Array.iteri
+    (fun i key -> Hashtbl.replace group_of key layout.kgroups.(i))
+    layout.keys;
+  try
+    let marker = Int64.to_int (get64 image layout.marker_addr) in
+    let total = List.length batches in
+    if marker < 0 || marker > total then
+      bad "commit marker %d outside [0, %d] — torn marker" marker total;
+    let flat = flat_records batches in
+    let recs =
+      List.map (fun r -> (r, read_grec ~layout ~group_of image r)) flat
+    in
+    (* a committed batch's records persisted before its slots and long
+       before the marker: every one must be intact.  An uncommitted
+       batch's record may legally be torn or absent — its six words
+       share one epoch, so a crash cut can split them — but then the
+       batch's slot writes cannot be durable either (they are barriered
+       after complete records), so ignoring it is safe. *)
+    List.iter
+      (fun ((batch, pos, _), state) ->
+        if batch < marker then
+          match state with
+          | Intact _ -> ()
+          | Torn msg -> bad "committed batch %d: %s" batch msg
+          | Absent -> bad "record %d of committed batch %d is missing" pos batch)
+      recs;
+    (* reverse-order, value-conditional rollback of uncommitted batches *)
+    let work = Bytes.copy image in
+    let rolled = ref 0 in
+    List.iter
+      (function
+        | _, Intact r when r.batch >= marker ->
+          let off = layout.table_addr + (r.r_slot * Kv.slot_bytes) in
+          let k = get64 work off in
+          let v = get64 work (off + 8) in
+          let sum = get64 work (off + 16) in
+          let empty =
+            Int64.equal k 0L && Int64.equal v 0L && Int64.equal sum 0L
+          in
+          let valid =
+            (not (Int64.equal k 0L))
+            && Int64.equal sum (Kv.slot_sum ~key:k ~value:v)
+          in
+          let holds_this_write =
+            valid
+            && Int64.equal v r.put.Kv_group.value
+            && Int64.to_int k = r.put.Kv_group.key
+          in
+          let torn = (not empty) && not valid in
+          if torn || holds_this_write then begin
+            Bytes.set_int64_le work off r.r_old_key;
+            Bytes.set_int64_le work (off + 8) r.r_old_value;
+            Bytes.set_int64_le work (off + 16) r.r_old_sum;
+            incr rolled
+          end
+        | _, (Intact _ | Absent | Torn _) -> ())
+      (List.rev recs);
+    (* decode the rolled-back table *)
+    let bindings = ref [] in
+    for s = 0 to (layout.groups * layout.group_size) - 1 do
+      let off = layout.table_addr + (s * Kv.slot_bytes) in
+      let k = get64 work off in
+      let v = get64 work (off + 8) in
+      let sum = get64 work (off + 16) in
+      if Int64.equal k 0L && Int64.equal v 0L && Int64.equal sum 0L then ()
+      else begin
+        let ki = Int64.to_int k in
+        let placed =
+          match Hashtbl.find_opt group_of ki with
+          | Some g -> g = s / layout.group_size
+          | None -> false
+        in
+        if
+          (not (Int64.equal sum (Kv.slot_sum ~key:k ~value:v))) || not placed
+        then
+          bad "slot %d torn after rollback (key=%Ld value=%Ld sum=%Ld)" s k v
+            sum;
+        bindings := (ki, v) :: !bindings
+      end
+    done;
+    let sorted = List.sort compare !bindings in
+    let rec first_dup = function
+      | (k1, _) :: ((k2, _) :: _ as rest) ->
+        if k1 = k2 then Some k1 else first_dup rest
+      | _ -> None
+    in
+    (match first_dup sorted with
+    | Some k -> bad "key %d recovered in two slots" k
+    | None -> ());
+    (* the batch-boundary equality: recovered state = fold of the
+       committed prefix *)
+    let expected = Hashtbl.create 64 in
+    List.iteri
+      (fun b puts ->
+        if b < marker then
+          List.iter
+            (fun (p : Kv_group.put) ->
+              Hashtbl.replace expected p.Kv_group.key p.Kv_group.value)
+            puts)
+      batches;
+    let expected_sorted =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) expected [])
+    in
+    if sorted <> expected_sorted then
+      bad
+        "recovered state is not the batch-%d boundary (%d bindings \
+         recovered, %d expected)"
+        marker (List.length sorted)
+        (List.length expected_sorted);
+    Ok { g_bindings = sorted; g_committed = marker; g_rolled_back = !rolled }
+  with Bad msg -> Error msg
+
+let check_group ~layout ~batches image =
+  match recover_group ~layout ~batches image with
+  | Ok _ -> Ok ()
+  | Error msg -> Error msg
+
+let group_checker ~layout ~batches =
+ fun image -> check_group ~layout ~batches image
+
+let group_image_capacity (layout : Kv_group.layout) =
+  max
+    (max
+       (layout.table_addr + layout.table_bytes)
+       (layout.log_addr + layout.log_bytes))
+    (layout.marker_addr + 8)
+
+let verify_group ~layout ~batches ~graph ~strategy =
+  Recovery.check ~graph
+    ~capacity:(group_image_capacity layout)
+    ~strategy
+    (group_checker ~layout ~batches)

@@ -55,3 +55,57 @@ val verify :
   (Recovery.report, Recovery.failure) result
 (** Failure-inject this run: {!Recovery.check} with {!checker} as the
     observer. *)
+
+(** {1 Group commit}
+
+    Recovery for {!Kv_group} shards.  The commit marker makes this path
+    stricter than the per-op one: marker value B promises batches
+    [0 .. B-1] fully durable, so recovery must reproduce {e exactly}
+    the table state after batch B-1 — "recovery lands on a batch
+    boundary" is an equality check against the replayed batch prefix,
+    not just a structural invariant.
+
+    Rule: committed batches' records must all be intact (checksummed,
+    legal slot, matching the replayed put); records of uncommitted
+    batches are applied in {e reverse} global order, each only when its
+    slot is torn or still holds that record's new write.  The value
+    condition matters because a batch's records share one epoch: a
+    later record can be durable while an earlier one is absent, and
+    unconditional rollback would resurrect stale triples. *)
+
+type group_recovered = {
+  g_bindings : (int * int64) list;
+      (** key -> value after recovery, sorted by key *)
+  g_committed : int;  (** the marker: committed put-batches *)
+  g_rolled_back : int;  (** undo records applied *)
+}
+
+val recover_group :
+  layout:Kv_group.layout ->
+  batches:Kv_group.put list list ->
+  bytes ->
+  (group_recovered, string) result
+(** [batches] is the shard's committed put-batch schedule in commit
+    order ({!Kv_group.batches}); the image is not mutated. *)
+
+val check_group :
+  layout:Kv_group.layout ->
+  batches:Kv_group.put list list ->
+  bytes ->
+  (unit, string) result
+
+val group_checker :
+  layout:Kv_group.layout ->
+  batches:Kv_group.put list list ->
+  Recovery.observer
+
+val group_image_capacity : Kv_group.layout -> int
+
+val verify_group :
+  layout:Kv_group.layout ->
+  batches:Kv_group.put list list ->
+  graph:Persistency.Persist_graph.t ->
+  strategy:Recovery.strategy ->
+  (Recovery.report, Recovery.failure) result
+(** Failure-inject a group-commit run: every durable-prefix crash image
+    must recover to the marker's batch boundary. *)

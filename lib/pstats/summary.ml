@@ -39,13 +39,26 @@ let percentile p xs =
   if p < 0. || p > 1. then invalid_arg "Summary.percentile: p outside [0, 1]";
   match xs with
   | [] -> Float.nan
+  | [ x ] -> x
   | _ ->
     let a = Array.of_list xs in
     Array.sort Float.compare a;
     let n = Array.length a in
-    (* nearest rank: ceil (p * n), clamped to a valid index *)
-    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
-    a.(max 0 (min (n - 1) (rank - 1)))
+    if p = 0. then a.(0)
+    else if p = 1. then a.(n - 1)
+    else
+      (* Nearest rank: ceil (p * n).  The product carries float noise —
+         0.95 *. 20. is 19.000000000000004, which a bare ceil rounds to
+         20 and misreports p95 of 20 samples as the maximum — so snap
+         to the nearest integer when within an ulp-scale epsilon. *)
+      let r = p *. float_of_int n in
+      let nearest = Float.round r in
+      let rank =
+        if Float.abs (r -. nearest) <= 1e-9 *. float_of_int n then
+          int_of_float nearest
+        else int_of_float (Float.ceil r)
+      in
+      a.(max 0 (min (n - 1) (rank - 1)))
 
 let pp ppf t =
   Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.n (mean t)

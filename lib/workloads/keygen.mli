@@ -1,0 +1,51 @@
+(** Seeded key-popularity generators for workload drivers.
+
+    Keys are in [1, key_space].  Every draw is a pure function of
+    (seed, draw index): [key_at] may be called from any domain, in any
+    order, and replayed exactly.  That purity is what lets the KV
+    recovery checker re-derive a run's put schedule, and the sharded
+    serve front-end partition one global request stream. *)
+
+type dist =
+  | Uniform  (** every key equally likely *)
+  | Zipf of float
+      (** [Zipf theta]: P(rank r) proportional to 1/r^theta; key 1 is
+          the hottest.  theta must be finite and > 0 (0.99 is the
+          YCSB-style default). *)
+  | Hotset of { hot_keys : int; hot_pct : int }
+      (** [hot_pct]% of draws land uniformly in keys [1, hot_keys];
+          the rest land uniformly in the cold remainder. *)
+
+type t
+
+val create : dist -> key_space:int -> seed:int -> t
+(** Precomputes the CDF (O(key_space)); draws are O(log key_space).
+    @raise Invalid_argument on a malformed distribution (see
+    [validate]). *)
+
+val validate : dist -> key_space:int -> unit
+(** @raise Invalid_argument when [key_space < 1], a Zipf skew is not
+    finite and positive, or a hotset is empty / as large as the key
+    space / has a percentage outside [0, 100]. *)
+
+val key_at : t -> int -> int
+(** [key_at t i] is draw number [i] (any non-negative index), in
+    [1, key_space].  Pure: same [t] parameters and [i] always give the
+    same key. *)
+
+val next : t -> int
+(** Stateful cursor over the same sequence: the n-th call returns
+    [key_at t (n-1)]. *)
+
+val dist : t -> dist
+val key_space : t -> int
+
+val pmf : t -> float array
+(** Model probability of each key (index 0 is key 1); sums to ~1.
+    For comparing empirical draw frequencies in tests. *)
+
+val dist_name : dist -> string
+(** ["uniform"], ["zipf:0.99"], ["hotset:16:90"] — inverse of
+    [dist_of_string]. *)
+
+val dist_of_string : string -> (dist, string) result

@@ -156,7 +156,8 @@ let gen_kv_params rng mode =
     groups;
     group_size;
     seed = Random.State.int rng 10_000;
-    policy = Memsim.Machine.Random (Random.State.int rng 10_000) }
+    policy = Memsim.Machine.Random (Random.State.int rng 10_000);
+    dist = Workloads.Keygen.Uniform }
 
 let fuzz_kv ~name ~count mode =
   for seed = 1 to count do

@@ -31,7 +31,8 @@ let tiny discipline =
     groups = 2;
     group_size = 2;
     seed = 11;
-    policy = Memsim.Machine.Round_robin }
+    policy = Memsim.Machine.Round_robin;
+    dist = Workloads.Keygen.Uniform }
 
 let graph_of params mode =
   let _, graph, layout = X.analyze_with_graph params (P.Config.make mode) in

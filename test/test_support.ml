@@ -7,6 +7,30 @@ let checkf msg = Alcotest.(check (float 1e-9)) msg
 
 (* Summary *)
 
+let test_percentile_edges () =
+  let p = Pstats.Summary.percentile in
+  checkb "empty is nan" true (Float.is_nan (p 0.5 []));
+  checkf "single sample p0" 7. (p 0. [ 7. ]);
+  checkf "single sample p50" 7. (p 0.5 [ 7. ]);
+  checkf "single sample p100" 7. (p 1. [ 7. ]);
+  let xs = List.init 20 (fun i -> float_of_int (i + 1)) in
+  checkf "p0 is the minimum" 1. (p 0. xs);
+  checkf "p100 is the maximum" 20. (p 1. xs);
+  (* 0.95 *. 20. carries float noise (19.000000000000004): a bare ceil
+     would misreport p95 of 20 samples as the maximum *)
+  checkf "p95 of 20 is the 19th order statistic" 19. (p 0.95 xs);
+  checkf "p50 of 20" 10. (p 0.5 xs);
+  checkf "p99 of 20 rounds up to the maximum" 20. (p 0.99 xs);
+  let three = [ 30.; 10.; 20. ] in
+  checkf "p100 of unsorted" 30. (p 1. three);
+  checkf "p34 of 3" 20. (p 0.34 three);
+  Alcotest.match_raises "p > 1 rejected"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (p 1.5 xs));
+  Alcotest.match_raises "p < 0 rejected"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (p (-0.1) xs))
+
 let test_summary_basic () =
   let s = Pstats.Summary.of_list [ 1.; 2.; 3.; 4. ] in
   checki "count" 4 (Pstats.Summary.count s);
@@ -210,6 +234,7 @@ let () =
     [ ( "summary",
         [ Alcotest.test_case "basic" `Quick test_summary_basic;
           Alcotest.test_case "empty" `Quick test_summary_empty;
+          Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
           Alcotest.test_case "stability" `Quick test_summary_welford_stability
         ] );
       ( "histogram",

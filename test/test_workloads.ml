@@ -266,6 +266,90 @@ let test_queue_recovery_detects_hole () =
   checkb "hole detected" true
     (Workloads.Queue_recovery.check ~params ~layout image <> Ok ())
 
+(* Keygen: seeded key-popularity distributions *)
+
+module Kg = Workloads.Keygen
+
+let freqs kg ~key_space ~draws =
+  let counts = Array.make key_space 0 in
+  for i = 0 to draws - 1 do
+    let k = Kg.key_at kg i in
+    checkb "key in range" true (k >= 1 && k <= key_space);
+    counts.(k - 1) <- counts.(k - 1) + 1
+  done;
+  Array.map (fun c -> float_of_int c /. float_of_int draws) counts
+
+let test_keygen_uniform_flat () =
+  let key_space = 16 in
+  let kg = Kg.create Kg.Uniform ~key_space ~seed:3 in
+  let f = freqs kg ~key_space ~draws:16_000 in
+  Array.iter
+    (fun p -> checkb "within 40% of uniform" true (p > 0.0375 && p < 0.105))
+    f
+
+let test_keygen_zipf_head_heavy () =
+  let key_space = 100 in
+  let kg = Kg.create (Kg.Zipf 1.0) ~key_space ~seed:3 in
+  let f = freqs kg ~key_space ~draws:20_000 in
+  let pmf = Kg.pmf kg in
+  (* key 1 carries ~1/H_100 = 19% of the mass; empirical within 2pp *)
+  checkb "model head mass" true (abs_float (pmf.(0) -. 0.1928) < 0.005);
+  checkb "empirical tracks model head" true (abs_float (f.(0) -. pmf.(0)) < 0.02);
+  checkb "head dominates mid-rank" true (f.(0) > 10. *. f.(49));
+  checkb "monotone-ish: top-10 over bottom-50" true
+    (Array.fold_left ( +. ) 0. (Array.sub f 0 10)
+    > 2. *. Array.fold_left ( +. ) 0. (Array.sub f 50 50))
+
+let test_keygen_hotset_mass () =
+  let key_space = 64 in
+  let kg = Kg.create (Kg.Hotset { hot_keys = 4; hot_pct = 90 }) ~key_space ~seed:3 in
+  let f = freqs kg ~key_space ~draws:20_000 in
+  let hot = Array.fold_left ( +. ) 0. (Array.sub f 0 4) in
+  checkb "90% of draws in the 4 hot keys" true (hot > 0.87 && hot < 0.93)
+
+let test_keygen_pure_and_stateful () =
+  let kg = Kg.create (Kg.Zipf 0.99) ~key_space:32 ~seed:9 in
+  let kg' = Kg.create (Kg.Zipf 0.99) ~key_space:32 ~seed:9 in
+  for i = 0 to 199 do
+    checki "pure replay" (Kg.key_at kg i) (Kg.key_at kg' i)
+  done;
+  (* the cursor walks the same sequence *)
+  let kg'' = Kg.create (Kg.Zipf 0.99) ~key_space:32 ~seed:9 in
+  for i = 0 to 49 do
+    checki "next = key_at" (Kg.key_at kg i) (Kg.next kg'')
+  done
+
+let test_keygen_pmf_sums () =
+  List.iter
+    (fun d ->
+      let kg = Kg.create d ~key_space:50 ~seed:1 in
+      let s = Array.fold_left ( +. ) 0. (Kg.pmf kg) in
+      checkb (Kg.dist_name d ^ " pmf sums to 1") true (abs_float (s -. 1.) < 1e-9))
+    [ Kg.Uniform; Kg.Zipf 0.5; Kg.Zipf 1.2; Kg.Hotset { hot_keys = 5; hot_pct = 80 } ]
+
+let test_keygen_validate_rejects () =
+  let expect_invalid f =
+    Alcotest.match_raises "rejected"
+      (function Invalid_argument _ -> true | _ -> false)
+      (fun () -> ignore (f ()))
+  in
+  expect_invalid (fun () -> Kg.create (Kg.Zipf 0.) ~key_space:8 ~seed:1);
+  expect_invalid (fun () -> Kg.create (Kg.Zipf Float.nan) ~key_space:8 ~seed:1);
+  expect_invalid (fun () ->
+      Kg.create (Kg.Hotset { hot_keys = 8; hot_pct = 50 }) ~key_space:8 ~seed:1);
+  expect_invalid (fun () ->
+      Kg.create (Kg.Hotset { hot_keys = 2; hot_pct = 101 }) ~key_space:8 ~seed:1);
+  expect_invalid (fun () -> Kg.create Kg.Uniform ~key_space:0 ~seed:1)
+
+let test_keygen_dist_strings () =
+  List.iter
+    (fun d -> checkb (Kg.dist_name d) true (Kg.dist_of_string (Kg.dist_name d) = Ok d))
+    [ Kg.Uniform; Kg.Zipf 0.99; Kg.Hotset { hot_keys = 16; hot_pct = 90 } ];
+  List.iter
+    (fun s ->
+      checkb s true (match Kg.dist_of_string s with Error _ -> true | Ok _ -> false))
+    [ "zipf"; "zipf:0"; "zipf:-1"; "hotset:0:50"; "hotset:4:101"; "what"; "" ]
+
 let () =
   Alcotest.run "workloads"
     [ ( "entry",
@@ -291,6 +375,16 @@ let () =
           Alcotest.test_case "2LC no holes" `Quick test_queue_tlc_no_holes;
           Alcotest.test_case "insert order" `Quick
             test_queue_insert_order_matches_threads ] );
+      ( "keygen",
+        [ Alcotest.test_case "uniform flat" `Quick test_keygen_uniform_flat;
+          Alcotest.test_case "zipf head-heavy" `Quick
+            test_keygen_zipf_head_heavy;
+          Alcotest.test_case "hotset mass" `Quick test_keygen_hotset_mass;
+          Alcotest.test_case "pure + stateful cursor" `Quick
+            test_keygen_pure_and_stateful;
+          Alcotest.test_case "pmf sums to 1" `Quick test_keygen_pmf_sums;
+          Alcotest.test_case "validation" `Quick test_keygen_validate_rejects;
+          Alcotest.test_case "dist strings" `Quick test_keygen_dist_strings ] );
       ( "recovery-checker",
         [ Alcotest.test_case "rejects wrapped runs" `Quick
             test_queue_recovery_rejects_wrapped_runs;
