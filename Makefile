@@ -2,7 +2,7 @@
 # the parallel sweeps and the fuzzer; see README "Running the
 # evaluation in parallel".
 
-.PHONY: all build test bench bench-quick bench-json fuzz fmt-check smoke serve explore litmus ci clean
+.PHONY: all build test bench bench-quick bench-json fuzz fmt-check smoke serve explore lockfree litmus ci clean
 
 all: build
 
@@ -48,8 +48,8 @@ smoke: build
 	grep -q "digraph persist_graph" /tmp/persistsim-graph.dot
 	dune exec bin/persistsim.exe -- kv --inserts 100 > /dev/null
 	dune exec bin/persistsim.exe -- kv --recovery --samples 100 > /dev/null
-	dune exec bin/persistsim.exe -- perf BENCH_PR8.json > /dev/null
-	dune exec bin/persistsim.exe -- perf BENCH_PR7.json BENCH_PR8.json --report-only > /dev/null
+	dune exec bin/persistsim.exe -- perf BENCH_PR9.json > /dev/null
+	dune exec bin/persistsim.exe -- perf BENCH_PR8.json BENCH_PR9.json --report-only > /dev/null
 
 # Served KV smoke: a small sweep (the amortization table), group-commit
 # recovery injection, and the buggy batcher must be caught.
@@ -66,6 +66,14 @@ explore: build
 	dune exec bin/persistsim.exe -- explore --workload kv --model strand --depth 2 --jobs 2 > /dev/null
 	dune exec bin/persistsim.exe -- explore --workload kv --buggy --depth 2 | grep -q "RECOVERY VIOLATION"
 
+# Lock-free CAS set: the flush-all vs NVTraverse sweep, recovery
+# injection of the correct discipline, and the buggy traversal (no
+# pre-CAS destination flush) must be caught.
+lockfree: build
+	dune exec bin/persistsim.exe -- lockfree --inserts 64 > /dev/null
+	dune exec bin/persistsim.exe -- lockfree --recovery --discipline nvtraverse --depth 2 > /dev/null
+	dune exec bin/persistsim.exe -- lockfree --buggy --depth 2 | grep -q "RECOVERY VIOLATION"
+
 # Litmus suite: every program's outcome set checked exhaustively under
 # both machine models (brute force + engine/oracle cross-check), then
 # again with DPOR; the queue sweep on the SC vs TSO machine.
@@ -75,7 +83,7 @@ litmus: build
 	dune exec bin/persistsim.exe -- machine --inserts 2000 > /dev/null
 
 # What .github/workflows/ci.yml runs.
-ci: fmt-check build test smoke serve explore litmus
+ci: fmt-check build test smoke serve explore lockfree litmus
 
 clean:
 	dune clean

@@ -189,6 +189,15 @@ let reproduce () =
       in
       on_profile sv.Experiments.Serve_exp.profile;
       print_string (Experiments.Serve_exp.render sv));
+  repro_phase "lockfree" ~items:(min repro_inserts 4096) (fun () ->
+      banner "Lock-free CAS set (flush-all vs NVTraverse destination window)";
+      let lf =
+        Experiments.Lockfree_exp.run ~jobs
+          ~inserts:(min repro_inserts 4096 / 4)
+          ()
+      in
+      on_profile lf.Experiments.Lockfree_exp.profile;
+      print_string (Experiments.Lockfree_exp.render lf));
   repro_phase "cache-impl" ~items:(4 * micro_inserts) (fun () ->
       banner "Model vs cache implementation";
       print_string
@@ -279,6 +288,17 @@ let bench_kv_recovery =
          with
          | Ok _ -> ()
          | Error f -> failwith (Recovery.render_failure f)))
+
+let bench_lockfree =
+  Test.make ~name:"workload:lockfree-cas-set"
+    (Staged.stage (fun () ->
+         let params =
+           Experiments.Lockfree_exp.set_params ~threads:2
+             ~inserts:(micro_inserts / 2) Lockfree.Cas_set.Nvtraverse
+         in
+         ignore
+           (Experiments.Lockfree_exp.analyze params
+              (Persistency.Config.make Persistency.Config.Epoch))))
 
 let bench_serve =
   Test.make ~name:"workload:serve-group-commit"
@@ -399,7 +419,8 @@ let tests =
     bench_engine Persistency.Config.Strict;
     bench_engine Persistency.Config.Epoch;
     bench_engine Persistency.Config.Strand;
-    bench_recovery_sampling; bench_kv_store; bench_kv_recovery; bench_serve;
+    bench_recovery_sampling; bench_kv_store; bench_kv_recovery;
+    bench_lockfree; bench_serve;
     bench_drain;
     bench_epoch_hw; bench_txn_commit; bench_explore_dpor;
     bench_explore_brute; bench_litmus_brute; bench_litmus_dpor ]

@@ -314,7 +314,14 @@ let recovery_cmd =
         ~strategy:
           (Recovery.Sampled { samples; seed = params.Workloads.Queue.seed })
     with
-    | Ok _ -> print_endline "recovery invariant holds in every sampled crash state"
+    | Ok _ ->
+      print_endline "recovery invariant holds in every sampled crash state";
+      if buggy then begin
+        print_endline
+          "ERROR: the buggy annotation survived failure injection (bug not \
+           caught)";
+        exit 1
+      end
     | Error f ->
       Printf.printf "RECOVERY VIOLATION: %s\n" (Recovery.render_failure f);
       if not buggy then exit 1
@@ -378,7 +385,13 @@ let kv_cmd =
         ~strategy:(Recovery.Sampled { samples; seed = params.Kv.seed })
     with
     | Ok _ ->
-      print_endline "recovery invariant holds in every sampled crash state"
+      print_endline "recovery invariant holds in every sampled crash state";
+      if buggy then begin
+        print_endline
+          "ERROR: the buggy discipline survived failure injection (bug not \
+           caught)";
+        exit 1
+      end
     | Error f ->
       Printf.printf "RECOVERY VIOLATION: %s\n" (Recovery.render_failure f);
       if not buggy then exit 1
@@ -828,7 +841,13 @@ let explore_cmd =
         Printf.printf
           "replayed schedule (%d decisions): recovery holds in all %d \
            durable prefixes of %d persists\n"
-          (Check.Schedule.length sched) r.Recovery.prefixes r.Recovery.nodes
+          (Check.Schedule.length sched) r.Recovery.prefixes r.Recovery.nodes;
+        if buggy then begin
+          print_endline
+            "ERROR: the buggy discipline survived the replayed schedule \
+             (bug not caught)";
+          exit 1
+        end
       | Error f ->
         Printf.printf "RECOVERY VIOLATION on replayed schedule: %s\n"
           (Recovery.render_failure f);
@@ -901,7 +920,12 @@ let explore_cmd =
           (Recovery.render_failure f)
           (reproducer ~workload:workload_name ~model_label:model.label ~buggy
              ~threads ~depth ~samples ~seed sched));
-      if report.failure <> None && not buggy then exit 1
+      if report.failure <> None && not buggy then exit 1;
+      if report.failure = None && buggy then begin
+        print_endline
+          "ERROR: the buggy discipline survived exploration (bug not caught)";
+        exit 1
+      end
   in
   let workload_t =
     let doc = "Workload to explore: $(b,queue) (CWL) or $(b,kv)." in
@@ -963,6 +987,178 @@ let explore_cmd =
     Term.(const run $ obs_t $ workload_t $ model_t $ buggy_t $ threads_t 2
           $ depth_t $ jobs_t $ max_schedules_t $ samples_t $ seed_t
           $ oracle_t $ replay_t $ csv_t)
+
+(* lockfree *)
+
+let lockfree_cmd =
+  let exhaustive_limit = 20 in
+  let reproducer ~discipline ~threads ~depth ~samples ~seed sched =
+    Printf.sprintf
+      "persistsim lockfree --recovery --discipline %s --threads %d --depth %d \
+       --samples %d --seed %d --replay %s"
+      discipline threads depth samples seed
+      (Check.Schedule.to_string sched)
+  in
+  let sweep inserts seed csv jobs =
+    let t = Experiments.Lockfree_exp.run ~jobs ~inserts ~seed () in
+    rendering (fun () ->
+        print_string
+          (if csv then Experiments.Lockfree_exp.to_csv t
+           else Experiments.Lockfree_exp.render t));
+    print_profile t.Experiments.Lockfree_exp.profile
+  in
+  let failure_inject discipline threads depth jobs max_schedules samples seed
+      replay =
+    let module C = Lockfree.Cas_set in
+    let params =
+      { (C.explore_params ~threads ~depth discipline) with C.seed }
+    in
+    let cfg = Persistency.Config.make Persistency.Config.Epoch in
+    let instance_of = Check.Driver.lockfree_instance params cfg in
+    let strategy = Recovery.auto ~exhaustive_limit ~samples ~seed in
+    let dname = C.discipline_name discipline in
+    let buggy = discipline = C.Buggy_traverse in
+    match replay with
+    | Some sched_str ->
+      let sched = Check.Schedule.of_string sched_str in
+      (match Check.Driver.check_schedule ~strategy sched instance_of with
+      | Ok r ->
+        Printf.printf
+          "replayed schedule (%d decisions): recovery and durable \
+           linearizability hold in all %d durable prefixes of %d persists\n"
+          (Check.Schedule.length sched) r.Recovery.prefixes r.Recovery.nodes;
+        if buggy then begin
+          print_endline
+            "ERROR: buggy-traverse survived the replayed schedule (bug not \
+             caught)";
+          exit 1
+        end
+      | Error f ->
+        Printf.printf "RECOVERY VIOLATION on replayed schedule: %s\n"
+          (Recovery.render_failure f);
+        if not buggy then exit 1)
+    | None ->
+      let report =
+        Check.Driver.check ~max_schedules ~jobs ~strategy instance_of
+      in
+      Printf.printf
+        "lockfree / %s: %d threads x %d inserts\n\
+        \  schedules executed    %d%s\n\
+        \  distinct persist graphs %d (%d recovery-checked, %d durable \
+         prefixes)\n"
+        dname threads depth report.Check.Driver.stats.Check.Dpor.schedules
+        (if report.Check.Driver.stats.Check.Dpor.complete then " (complete)"
+         else " (budget hit)")
+        report.Check.Driver.distinct report.Check.Driver.checked
+        report.Check.Driver.prefixes;
+      (match report.Check.Driver.failure with
+      | None ->
+        if buggy then begin
+          print_endline
+            "ERROR: buggy-traverse survived failure injection (bug not \
+             caught)";
+          exit 1
+        end
+        else
+          print_endline
+            "recovery and durable linearizability hold in every durable \
+             prefix of every explored interleaving"
+      | Some (sched, f) ->
+        Printf.printf "RECOVERY VIOLATION: %s\nreproduce with:\n  %s\n"
+          (Recovery.render_failure f)
+          (reproducer ~discipline:dname ~threads ~depth ~samples ~seed sched);
+        if not buggy then exit 1)
+  in
+  let run () recovery buggy discipline threads depth jobs max_schedules
+      samples seed replay inserts sweep_seed csv =
+    let discipline =
+      if buggy then Lockfree.Cas_set.Buggy_traverse else discipline
+    in
+    if recovery || buggy || replay <> None then
+      failure_inject discipline threads depth jobs max_schedules samples seed
+        replay
+    else sweep inserts sweep_seed csv jobs
+  in
+  let discipline_t =
+    let doc =
+      "Persistence discipline: $(b,flush-all), $(b,nvtraverse) or \
+       $(b,buggy-traverse)."
+    in
+    Arg.(value
+         & opt
+             (enum
+                [ ("flush-all", Lockfree.Cas_set.Flush_all);
+                  ("nvtraverse", Lockfree.Cas_set.Nvtraverse);
+                  ("buggy-traverse", Lockfree.Cas_set.Buggy_traverse) ])
+             Lockfree.Cas_set.Nvtraverse
+         & info [ "discipline" ] ~docv:"D" ~doc)
+  in
+  let recovery_t =
+    Arg.(value & flag
+         & info [ "recovery" ]
+             ~doc:"Exhaustive failure injection instead of the sweep: DPOR \
+                   over interleavings, every distinct persist graph \
+                   recovery-checked and held to durable linearizability.")
+  in
+  let buggy_t =
+    Arg.(value & flag
+         & info [ "buggy" ]
+             ~doc:"With --recovery: use the buggy-traverse discipline (no \
+                   pre-CAS destination flush) to demonstrate a detectable \
+                   violation.")
+  in
+  let depth_t =
+    Arg.(value & opt int 2
+         & info [ "depth" ] ~docv:"N"
+             ~doc:"Inserts per thread under --recovery.")
+  in
+  let max_schedules_t =
+    Arg.(value & opt int 100_000
+         & info [ "max-schedules" ] ~docv:"N"
+             ~doc:"Schedule budget under --recovery.")
+  in
+  let samples_t =
+    Arg.(value & opt int 64
+         & info [ "samples" ] ~docv:"N"
+             ~doc:(Printf.sprintf
+                     "Crash states sampled per distinct persist graph larger \
+                      than %d nodes (smaller graphs are checked \
+                      exhaustively)."
+                     exhaustive_limit))
+  in
+  let seed_t =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Key-schedule and crash-state sampling seed under \
+                   --recovery; stamped into reproducer lines.")
+  in
+  let replay_t =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"SCHEDULE"
+             ~doc:"Re-execute one schedule (as printed in a reproducer \
+                   line) instead of exploring, and failure-inject just that \
+                   run.")
+  in
+  let inserts_t =
+    Arg.(value & opt int 128
+         & info [ "inserts" ] ~docv:"N"
+             ~doc:"Inserts per thread for the sweep.")
+  in
+  let sweep_seed_t =
+    Arg.(value & opt int 42
+         & info [ "sweep-seed" ] ~docv:"N"
+             ~doc:"Key-schedule seed for the sweep.")
+  in
+  Cmd.v
+    (Cmd.info "lockfree"
+       ~doc:"Lock-free durable CAS-set: sweep the NVTraverse flush-elision \
+             win (persist critical path per insert, flush-all vs \
+             nvtraverse) over thread counts, or exhaustively failure-inject \
+             one discipline (--recovery) under the durable-linearizability \
+             oracle.")
+    Term.(const run $ obs_t $ recovery_t $ buggy_t $ discipline_t
+          $ threads_t 2 $ depth_t $ jobs_t $ max_schedules_t $ samples_t
+          $ seed_t $ replay_t $ inserts_t $ sweep_seed_t $ csv_t)
 
 (* machine (SC vs TSO) *)
 
@@ -1219,7 +1415,7 @@ let main =
     (Cmd.info "persistsim" ~version:"1.0.0" ~doc)
     [ table1_cmd; fig3_cmd; fig4_cmd; fig5_cmd; validate_cmd; recovery_cmd;
       kv_cmd; trace_cmd; analyze_cmd; graph_cmd; ablation_cmd; calibrate_cmd;
-      cache_cmd; wear_cmd; consistency_cmd; explore_cmd; litmus_cmd;
-      machine_cmd; perf_cmd; serve_cmd ]
+      cache_cmd; wear_cmd; consistency_cmd; explore_cmd; lockfree_cmd;
+      litmus_cmd; machine_cmd; perf_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

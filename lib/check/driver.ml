@@ -9,7 +9,7 @@ let m_sched_rate = Om.gauge_max Om.default "check.schedules_per_sec"
 type instance = {
   graph : Ps.Persist_graph.t;
   capacity : int;
-  observer : Recovery.observer;
+  observer : Recovery.cut_observer;
 }
 
 type report = {
@@ -51,7 +51,7 @@ let check ?gran ?max_schedules ?(jobs = 1) ?(stop_on_failure = true) ~strategy
     else begin
       Om.incr m_distinct;
       let verdict =
-        Recovery.check ~graph:inst.graph ~capacity:inst.capacity
+        Recovery.check_cuts ~graph:inst.graph ~capacity:inst.capacity
           ~strategy:(strategy inst.graph) inst.observer
       in
       Mutex.protect mu (fun () ->
@@ -83,29 +83,93 @@ let check ?gran ?max_schedules ?(jobs = 1) ?(stop_on_failure = true) ~strategy
     prefixes = !prefixes;
     failure = !failure }
 
-let queue_instance params cfg policy =
-  let params = { params with Workloads.Queue.policy } in
+(* Every instance runs its workload with a history tee, so the
+   observer can layer the durable-linearizability oracle ({!Dlin})
+   over the family's structural invariant: the invariant runs first
+   (its failure messages are the pinned, replayable ones), then the
+   recovered abstract state is checked against the operations the cut
+   classifies as fully / partially / not durable. *)
+let instrumented_run run cfg =
   let cfg = { cfg with Ps.Config.record_graph = true } in
   let engine = Ps.Engine.create cfg in
-  let result = Workloads.Queue.run params ~sink:(Ps.Engine.observe engine) in
+  let hist = Dlin.History.create () in
+  let result = run ~sink:(Dlin.History.sink hist (Ps.Engine.observe engine)) in
+  let ops effect_of =
+    Dlin.History.ops hist
+      ~node_of_persist:(Ps.Engine.node_of_persist_event engine)
+      ~effect_of
+  in
+  (result, Option.get (Ps.Engine.graph engine), ops)
+
+let queue_instance params cfg policy =
+  let params = { params with Workloads.Queue.policy } in
+  let result, graph, history =
+    instrumented_run (fun ~sink -> Workloads.Queue.run params ~sink) cfg
+  in
   let layout = result.Workloads.Queue.layout in
-  { graph = Option.get (Ps.Engine.graph engine);
+  let ops =
+    history (fun ~tid ~index ~label:_ -> Dlin.Enq { etid = tid; eseq = index })
+  in
+  let observer ~cut image =
+    match Workloads.Queue_recovery.check ~params ~layout image with
+    | Error _ as e -> e
+    | Ok () -> (
+      match Workloads.Queue_recovery.recover ~params ~layout image with
+      | Error _ as e -> e
+      | Ok r ->
+        Dlin.check_fifo ~ops ~cut
+          ~recovered:r.Workloads.Queue_recovery.entries)
+  in
+  { graph;
     capacity = Workloads.Queue_recovery.image_capacity layout;
-    observer = Workloads.Queue_recovery.checker ~params ~layout }
+    observer }
 
 let kv_instance params cfg policy =
   let params = { params with Kv.policy } in
-  let cfg = { cfg with Ps.Config.record_graph = true } in
-  let engine = Ps.Engine.create cfg in
-  let result = Kv.run params ~sink:(Ps.Engine.observe engine) in
+  let result, graph, history =
+    instrumented_run (fun ~sink -> Kv.run params ~sink) cfg
+  in
   let layout = result.Kv.layout in
-  { graph = Option.get (Ps.Engine.graph engine);
-    capacity = Kv_recovery.image_capacity layout;
-    observer = Kv_recovery.checker ~params ~layout }
+  let ops =
+    history (fun ~tid ~index ~label:_ ->
+        match Kv.op_of params ~tid ~seq:index with
+        | Kv.Put { key; value } -> Dlin.Put { key; value }
+        | Kv.Get _ -> Dlin.Read)
+  in
+  let observer ~cut image =
+    match Kv_recovery.check ~params ~layout image with
+    | Error _ as e -> e
+    | Ok () -> (
+      match Kv_recovery.recover ~params ~layout image with
+      | Error _ as e -> e
+      | Ok r -> Dlin.check_map ~ops ~cut ~recovered:r.Kv_recovery.bindings)
+  in
+  { graph; capacity = Kv_recovery.image_capacity layout; observer }
+
+let lockfree_instance params cfg policy =
+  let params = { params with Lockfree.Cas_set.policy } in
+  let result, graph, history =
+    instrumented_run (fun ~sink -> Lockfree.Cas_set.run params ~sink) cfg
+  in
+  let layout = result.Lockfree.Cas_set.layout in
+  let keys = result.Lockfree.Cas_set.keys in
+  let ops =
+    history (fun ~tid ~index ~label:_ ->
+        Dlin.Add
+          { key = keys.((tid * params.Lockfree.Cas_set.inserts_per_thread)
+                        + index) })
+  in
+  let observer ~cut image =
+    match Lockfree.Set_recovery.recover ~params ~layout image with
+    | Error _ as e -> e
+    | Ok r ->
+      Dlin.check_set ~ops ~cut ~recovered:r.Lockfree.Set_recovery.keys
+  in
+  { graph; capacity = Lockfree.Set_recovery.image_capacity layout; observer }
 
 let replay sched run = run (M.Scripted (Schedule.to_script sched))
 
 let check_schedule ~strategy sched run =
   let inst = replay sched run in
-  Recovery.check ~graph:inst.graph ~capacity:inst.capacity
+  Recovery.check_cuts ~graph:inst.graph ~capacity:inst.capacity
     ~strategy:(strategy inst.graph) inst.observer

@@ -14,10 +14,13 @@ type instance = {
   graph : Persistency.Persist_graph.t;
       (** persist dependence graph of the run *)
   capacity : int;  (** persistent image size for failure injection *)
-  observer : Recovery.observer;  (** the workload's recovery checker *)
+  observer : Recovery.cut_observer;
+      (** the workload's recovery checker: structural invariant first,
+          then the {!Dlin} durable-linearizability oracle against the
+          run's operation history *)
 }
 (** What one workload execution hands the driver: everything
-    {!Recovery.check} needs. *)
+    {!Recovery.check_cuts} needs. *)
 
 type report = {
   stats : Dpor.stats;
@@ -59,6 +62,15 @@ val queue_instance :
 val kv_instance :
   Kv.params -> Persistency.Config.t -> Memsim.Machine.policy -> instance
 (** Same for the KV store workload. *)
+
+val lockfree_instance :
+  Lockfree.Cas_set.params ->
+  Persistency.Config.t ->
+  Memsim.Machine.policy ->
+  instance
+(** Same for the lock-free CAS-set workload ({!Dlin.check_set} catches
+    the silent truncation {!Lockfree.Cas_set.discipline.Buggy_traverse}
+    can produce, which the structural decoder alone cannot see). *)
 
 val replay : Schedule.t -> (Memsim.Machine.policy -> instance) -> instance
 (** Re-execute one schedule deterministically ([Scripted] policy with

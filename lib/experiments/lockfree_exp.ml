@@ -1,0 +1,168 @@
+(* The lock-free CAS-set sweep: persist critical path per insert for
+   the flush-everything baseline vs the NVTraverse-style destination
+   discipline, across thread counts, under epoch persistency.  The
+   walk-time flushes are what the baseline pays: every walked link's
+   publisher joins the CAS's dependence frontier, so its critical path
+   grows with traversal length while NVTraverse's stays at the
+   destination window. *)
+
+module C = Lockfree.Cas_set
+
+type metrics = {
+  inserts : int;
+  events : int;
+  persist_events : int;
+  persist_ops : int;
+  coalesced : int;
+  critical_path : int;
+  cp_per_insert : float;
+}
+
+let metrics_of (engine : Persistency.Engine.t) (result : C.result) =
+  { inserts = result.C.inserts;
+    events = result.C.events;
+    persist_events = Persistency.Engine.persist_events engine;
+    persist_ops = Persistency.Engine.persist_ops engine;
+    coalesced = Persistency.Engine.coalesced engine;
+    critical_path = Persistency.Engine.critical_path engine;
+    cp_per_insert = Persistency.Engine.cp_per_label engine "insert" }
+
+(* Same trace-vs-stream split as Run.drive: materialize the trace only
+   when span tracing wants generation and analysis as separate phases. *)
+let drive params engine =
+  if Obs.Tracer.enabled () then begin
+    let trace = Memsim.Trace.create () in
+    let result =
+      Obs.Tracer.with_span ~cat:"phase" "trace generation" (fun () ->
+          C.run params ~sink:(Memsim.Trace.sink trace))
+    in
+    Obs.Tracer.with_span ~cat:"phase"
+      ~args:[ ("events", string_of_int (Memsim.Trace.length trace)) ]
+      "engine analysis"
+      (fun () -> Memsim.Trace.iter (Persistency.Engine.observe engine) trace);
+    result
+  end
+  else C.run params ~sink:(Persistency.Engine.observe engine)
+
+let analyze params cfg =
+  let engine = Persistency.Engine.create cfg in
+  let result = drive params engine in
+  metrics_of engine result
+
+let analyze_with_graph params cfg =
+  let cfg = { cfg with Persistency.Config.record_graph = true } in
+  let engine = Persistency.Engine.create cfg in
+  let result = drive params engine in
+  let graph =
+    match Persistency.Engine.graph engine with
+    | Some g -> g
+    | None -> assert false
+  in
+  (metrics_of engine result, graph, result.C.layout)
+
+let set_params ?(threads = 2) ?(inserts = 256) ?(seed = 42) discipline =
+  { C.discipline;
+    threads;
+    inserts_per_thread = inserts;
+    key_space = 2 * threads * inserts;
+    seed;
+    policy = Memsim.Machine.Random seed;
+    machine = Memsim.Machine.Sc }
+
+type cell = {
+  threads : int;
+  cp_flush_all : float;
+  cp_nvtraverse : float;
+  saving : float;  (** 1 - nvtraverse/flush-all, as a fraction *)
+  persists_flush_all : int;
+  persists_nvtraverse : int;
+}
+
+type t = {
+  inserts : int;  (** per thread *)
+  cells : cell list;
+  profile : Parallel.Pool.profile;
+}
+
+let run ?(jobs = 1) ?(threads_list = [ 1; 2; 4 ]) ?(inserts = 256)
+    ?(seed = 42) () =
+  let disciplines = [ C.Flush_all; C.Nvtraverse ] in
+  let sweep =
+    List.concat_map
+      (fun threads -> List.map (fun d -> (threads, d)) disciplines)
+      threads_list
+  in
+  let points, profile =
+    Parallel.Pool.map_cells_profiled ~domains:jobs
+      ~label:(fun _ (threads, d) ->
+        Printf.sprintf "lockfree/%s/%dT" (C.discipline_name d) threads)
+      (fun (threads, d) ->
+        let params = set_params ~threads ~inserts ~seed d in
+        let cfg = Persistency.Config.make Persistency.Config.Epoch in
+        (threads, d, analyze params cfg))
+      sweep
+  in
+  let find threads d =
+    let _, _, m =
+      List.find (fun (t, d', _) -> t = threads && d' = d) points
+    in
+    m
+  in
+  let cells =
+    List.map
+      (fun threads ->
+        let base = find threads C.Flush_all in
+        let opt = find threads C.Nvtraverse in
+        { threads;
+          cp_flush_all = base.cp_per_insert;
+          cp_nvtraverse = opt.cp_per_insert;
+          saving = 1. -. (opt.cp_per_insert /. base.cp_per_insert);
+          persists_flush_all = base.persist_ops;
+          persists_nvtraverse = opt.persist_ops })
+      threads_list
+  in
+  { inserts; cells; profile }
+
+let cells t = t.cells
+
+let render t =
+  let columns =
+    [ ("Threads", Report.Table.Right);
+      ("flush-all cp/insert", Report.Table.Right);
+      ("nvtraverse cp/insert", Report.Table.Right);
+      ("saving", Report.Table.Right);
+      ("flush-all persists", Report.Table.Right);
+      ("nvtraverse persists", Report.Table.Right) ]
+  in
+  let table = Report.Table.create ~columns in
+  List.iter
+    (fun c ->
+      Report.Table.add_row table
+        [ string_of_int c.threads;
+          Report.Table.fmt_float ~decimals:3 c.cp_flush_all;
+          Report.Table.fmt_float ~decimals:3 c.cp_nvtraverse;
+          Printf.sprintf "%.1f%%" (c.saving *. 100.);
+          string_of_int c.persists_flush_all;
+          string_of_int c.persists_nvtraverse ])
+    t.cells;
+  Printf.sprintf
+    "Lock-free CAS set: persist critical path per insert, epoch model\n\
+     (%d inserts per thread; flush-all persists the whole traversal, \
+     nvtraverse only the destination window)\n\n\
+     %s"
+    t.inserts (Report.Table.render table)
+
+let to_csv t =
+  Report.Csv.to_string
+    ~header:
+      [ "threads"; "cp_flush_all"; "cp_nvtraverse"; "saving";
+        "persists_flush_all"; "persists_nvtraverse" ]
+    (List.map
+       (fun c ->
+         [ string_of_int c.threads;
+           Printf.sprintf "%.6f" c.cp_flush_all;
+           Printf.sprintf "%.6f" c.cp_nvtraverse;
+           Printf.sprintf "%.6f" c.saving;
+           string_of_int c.persists_flush_all;
+           string_of_int c.persists_nvtraverse ])
+       t.cells)

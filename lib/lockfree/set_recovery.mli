@@ -1,0 +1,49 @@
+(** Recovery decoder and invariant checker for the CAS-based sorted
+    list set.
+
+    Given a post-crash persistent image, walk the list from the head
+    pointer and validate structure:
+
+    - every link lands inside the node pool, on a node boundary;
+    - every reachable node's key matches the key its pool slot was
+      assigned ({!Cas_set.keys_for}) — a zero or partial key word is a
+      torn node, published by a CAS whose destination flush never
+      persisted;
+    - keys strictly increase along the walk (sortedness, and the cycle
+      guard).
+
+    A decode alone cannot see a {e silently truncated} list — a torn
+    next field reads as list-end and drops fully durable downstream
+    inserts.  That is the durable-linearizability oracle's job
+    ({!Check.Dlin.check_set} wired up in {!Check.Driver}). *)
+
+type recovered = { keys : int list  (** reachable keys, in list order *) }
+
+val recover :
+  params:Cas_set.params ->
+  layout:Cas_set.layout ->
+  bytes ->
+  (recovered, string) result
+
+val check :
+  params:Cas_set.params ->
+  layout:Cas_set.layout ->
+  bytes ->
+  (unit, string) result
+
+val checker :
+  params:Cas_set.params -> layout:Cas_set.layout -> Recovery.observer
+(** [check] with the key schedule precomputed, shaped for
+    {!Recovery.check}. *)
+
+val image_capacity : Cas_set.layout -> int
+
+val verify :
+  params:Cas_set.params ->
+  layout:Cas_set.layout ->
+  graph:Persistency.Persist_graph.t ->
+  strategy:Recovery.strategy ->
+  (Recovery.report, Recovery.failure) result
+(** Failure-inject this run: {!Recovery.check} with {!checker} as the
+    observer (structural invariant only; {!Check.Driver} layers the
+    durable-linearizability oracle on top). *)

@@ -3,6 +3,7 @@ module Om = Obs.Metrics
 
 let m_checks = Om.counter Om.default "recovery.checks"
 let m_prefixes = Om.counter Om.default "recovery.prefixes"
+let m_dup_cuts = Om.counter Om.default "recovery.duplicate_cuts"
 let m_violations = Om.counter Om.default "recovery.violations"
 let m_inject_rate = Om.gauge_max Om.default "recovery.injections_per_sec"
 
@@ -12,6 +13,7 @@ let m_prefix_size =
   Om.histogram Om.default ~buckets:prefix_buckets "recovery.prefix_size"
 
 type observer = bytes -> (unit, string) result
+type cut_observer = cut:P.Iset.t -> bytes -> (unit, string) result
 
 type strategy =
   | Sampled of { samples : int; seed : int }
@@ -50,7 +52,7 @@ let traced ~strategy ~graph f =
 (* Walk the prefixes the strategy yields, checking each one.  The two
    strategies share the per-prefix body so accounting and failure
    reporting cannot drift. *)
-let check ~graph ~capacity ~strategy observer =
+let check_cuts ~graph ~capacity ~strategy observer =
   traced ~strategy ~graph @@ fun () ->
   Om.incr m_checks;
   let span =
@@ -64,7 +66,7 @@ let check ~graph ~capacity ~strategy observer =
     let image = P.Observer.image_of_cut graph cut ~capacity in
     Om.incr m_prefixes;
     Om.observe m_prefix_size (float_of_int (P.Iset.cardinal cut));
-    match observer image with
+    match observer ~cut image with
     | Ok () ->
       incr checked;
       Ok ()
@@ -88,14 +90,30 @@ let check ~graph ~capacity ~strategy observer =
     | Exhaustive ->
       first_error (P.Observer.all_cuts graph)
     | Sampled { samples; seed } ->
+      (* The rng draws exactly [samples] cuts in a seed-stable order,
+         but a duplicate of an already-checked cut is only counted as
+         a duplicate, not re-checked: the verdict cannot change (its
+         first occurrence already passed) and re-checking would let
+         [report.prefixes] overstate distinct crash-state coverage. *)
       let rng = Random.State.make [| seed |] in
       let dag = P.Persist_graph.to_dag graph in
+      let seen = Hashtbl.create 64 in
       let rec loop i =
         if i >= samples then Ok ()
-        else
-          match try_prefix (P.Dag.random_down_closed dag rng) with
-          | Ok () -> loop (i + 1)
-          | Error _ as e -> e
+        else begin
+          let cut = P.Dag.random_down_closed dag rng in
+          let key = P.Iset.elements cut in
+          if Hashtbl.mem seen key then begin
+            Om.incr m_dup_cuts;
+            loop (i + 1)
+          end
+          else begin
+            Hashtbl.add seen key ();
+            match try_prefix cut with
+            | Ok () -> loop (i + 1)
+            | Error _ as e -> e
+          end
+        end
       in
       loop 0
   in
@@ -108,6 +126,9 @@ let check ~graph ~capacity ~strategy observer =
   match result with
   | Ok () -> Ok { prefixes = !checked; nodes = total }
   | Error f -> Error f
+
+let check ~graph ~capacity ~strategy observer =
+  check_cuts ~graph ~capacity ~strategy (fun ~cut:_ image -> observer image)
 
 let check_invariant ~graph ~capacity ~strategy observer =
   match check ~graph ~capacity ~strategy observer with

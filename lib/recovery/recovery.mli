@@ -17,6 +17,12 @@ type observer = bytes -> (unit, string) result
 (** Recovery procedure + invariant check over one post-crash image.
     [Error] describes why the image is unrecoverable. *)
 
+type cut_observer = cut:Persistency.Iset.t -> bytes -> (unit, string) result
+(** An observer that also sees the durable prefix the image was built
+    from — what a durable-linearizability oracle needs to classify
+    each operation's persists as fully / partially / not durable
+    (see {!Check.Dlin}).  Plain invariant checkers ignore [cut]. *)
+
 (** How to walk the space of durable prefixes. *)
 type strategy =
   | Sampled of { samples : int; seed : int }
@@ -35,9 +41,25 @@ type failure = {
 }
 
 type report = {
-  prefixes : int;  (** durable prefixes checked *)
+  prefixes : int;
+      (** {e distinct} durable prefixes checked.  [Sampled] draws its
+          full sample budget but dedupes repeated cuts, so this counts
+          real crash-state coverage, not raw draws. *)
   nodes : int;  (** atomic persists in the graph *)
 }
+
+val check_cuts :
+  graph:Persistency.Persist_graph.t ->
+  capacity:int ->
+  strategy:strategy ->
+  cut_observer ->
+  (report, failure) result
+(** Run the observer against every durable prefix the strategy
+    produces ([capacity] sizes the persistent image, as in
+    {!Persistency.Observer.image_of_cut}).  Stops at the first
+    unrecoverable prefix.  [Sampled] draws are seed-stable; duplicate
+    cuts are skipped (counted under the [recovery.duplicate_cuts]
+    metric) rather than re-checked. *)
 
 val check :
   graph:Persistency.Persist_graph.t ->
@@ -45,10 +67,7 @@ val check :
   strategy:strategy ->
   observer ->
   (report, failure) result
-(** Run [observer] against every durable prefix the strategy produces
-    ([capacity] sizes the persistent image, as in
-    {!Persistency.Observer.image_of_cut}).  Stops at the first
-    unrecoverable prefix. *)
+(** {!check_cuts} for observers that do not need the prefix itself. *)
 
 val check_invariant :
   graph:Persistency.Persist_graph.t ->

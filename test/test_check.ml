@@ -253,8 +253,8 @@ let brute_census ~limit instance_of =
 let verdict inst =
   let g = inst.Dr.graph in
   match
-    Recovery.check ~graph:g ~capacity:inst.Dr.capacity ~strategy:(strategy g)
-      inst.Dr.observer
+    Recovery.check_cuts ~graph:g ~capacity:inst.Dr.capacity
+      ~strategy:(strategy g) inst.Dr.observer
   with
   | Ok _ -> "safe"
   | Error _ -> "unsafe"

@@ -748,6 +748,39 @@ let test_subcommands_expose_obs_flags () =
         [ "--metrics-out"; "--trace-out"; "--manifest-out"; "--progress" ])
     cmds
 
+(* Exit-code contract: a subcommand that detects a violation (or fails
+   to demonstrate one it was asked to demonstrate with --buggy) must
+   exit non-zero; clean runs and successful demonstrations exit 0. *)
+let exit_code cmd =
+  let ic = Unix.open_process_in (cmd ^ " >/dev/null 2>&1") in
+  (try
+     while true do
+       ignore (input_line ic)
+     done
+   with End_of_file -> ());
+  match Unix.close_process_in ic with
+  | Unix.WEXITED n -> n
+  | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> Alcotest.failf "%s killed" cmd
+
+let test_exit_codes () =
+  let checke name expected cmd =
+    Alcotest.(check int) name expected (exit_code (persistsim ^ " " ^ cmd))
+  in
+  (* clean runs *)
+  checke "explore safe" 0 "explore --workload kv --depth 2";
+  checke "lockfree safe" 0
+    "lockfree --recovery --discipline nvtraverse --depth 2";
+  (* a caught bug is a successful demonstration *)
+  checke "explore buggy caught" 0 "explore --workload kv --buggy --depth 2";
+  checke "lockfree buggy caught" 0 "lockfree --buggy --depth 2";
+  (* a missed bug must not exit clean: Buggy_undo's dropped seal->slot
+     barrier is masked by strict persistency, so the demonstration
+     deterministically fails to fire there *)
+  checke "explore buggy missed" 1
+    "explore --workload kv --model strict --buggy --depth 2";
+  (* unknown litmus test is a usage error *)
+  checke "litmus unknown" 2 "litmus --test no-such-test"
+
 let () =
   Alcotest.run "obs"
     [ ( "json",
@@ -805,4 +838,5 @@ let () =
             test_load_bench_errors ] );
       ( "cli",
         [ Alcotest.test_case "subcommands expose obs flags" `Quick
-            test_subcommands_expose_obs_flags ] ) ]
+            test_subcommands_expose_obs_flags;
+          Alcotest.test_case "violation exit codes" `Quick test_exit_codes ] ) ]

@@ -276,13 +276,30 @@ let test_auto_boundary () =
     Alcotest.(check int) "2^4 prefixes" 16 r.Recovery.prefixes;
     Alcotest.(check int) "4 nodes" 4 r.Recovery.nodes
   | Error _ -> Alcotest.fail "exhaustive check failed");
+  (match
+     Recovery.check ~graph ~capacity:64
+       ~strategy:(Recovery.Sampled { samples = 9; seed = 1 })
+       (fun _ -> Ok ())
+   with
+  | Ok r ->
+    (* prefixes counts DISTINCT sampled cuts: never more than the
+       sample budget, and repeat draws are deduplicated rather than
+       re-checked *)
+    checkb "sampled distinct <= samples" true (r.Recovery.prefixes <= 9);
+    checkb "sampled some prefixes" true (r.Recovery.prefixes > 0)
+  | Error _ -> Alcotest.fail "sampled check failed");
+  (* with a large budget on a small graph, dedup converges on the full
+     cut census: 4 independent persists have exactly 16 down-closed
+     sets, no matter how many draws repeat *)
   match
     Recovery.check ~graph ~capacity:64
-      ~strategy:(Recovery.Sampled { samples = 9; seed = 1 })
+      ~strategy:(Recovery.Sampled { samples = 4096; seed = 1 })
       (fun _ -> Ok ())
   with
-  | Ok r -> Alcotest.(check int) "sampled prefix count" 9 r.Recovery.prefixes
-  | Error _ -> Alcotest.fail "sampled check failed"
+  | Ok r ->
+    checkb "sampled census bounded" true (r.Recovery.prefixes <= 16);
+    Alcotest.(check int) "sampled census converges" 16 r.Recovery.prefixes
+  | Error _ -> Alcotest.fail "sampled census failed"
 
 let () =
   Alcotest.run "recovery"

@@ -341,6 +341,53 @@ let test_keygen_validate_rejects () =
       Kg.create (Kg.Hotset { hot_keys = 2; hot_pct = 101 }) ~key_space:8 ~seed:1);
   expect_invalid (fun () -> Kg.create Kg.Uniform ~key_space:0 ~seed:1)
 
+(* The degenerate corners: every (dist, key_space) pair must either be
+   rejected by validate or produce a pmf summing to 1 within 1e-9 and
+   draws inside [1, key_space]. *)
+let test_keygen_edge_cases () =
+  let sums_and_draws d ~key_space =
+    let kg = Kg.create d ~key_space ~seed:11 in
+    let s = Array.fold_left ( +. ) 0. (Kg.pmf kg) in
+    checkb (Kg.dist_name d ^ " pmf sums to 1") true (abs_float (s -. 1.) < 1e-9);
+    ignore (freqs kg ~key_space ~draws:2_000)
+  in
+  (* a single key: every distribution that validates must always draw
+     it; a hot set can't be a proper subset, so Hotset is rejected *)
+  sums_and_draws Kg.Uniform ~key_space:1;
+  sums_and_draws (Kg.Zipf 1.0) ~key_space:1;
+  let kg1 = Kg.create (Kg.Zipf 1.0) ~key_space:1 ~seed:11 in
+  for i = 0 to 99 do
+    checki "only key" 1 (Kg.key_at kg1 i)
+  done;
+  Alcotest.match_raises "hotset needs a cold key"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () ->
+      ignore (Kg.create (Kg.Hotset { hot_keys = 1; hot_pct = 50 }) ~key_space:1 ~seed:1));
+  (* theta edges: 0 is rejected (uniform spelled as zipf), 1.0 is the
+     classic harmonic case, huge theta underflows the tail to zero
+     weight but the head still normalizes *)
+  sums_and_draws (Kg.Zipf 1.0) ~key_space:50;
+  sums_and_draws (Kg.Zipf 200.) ~key_space:50;
+  let sharp = Kg.create (Kg.Zipf 200.) ~key_space:50 ~seed:11 in
+  for i = 0 to 99 do
+    checki "theta=200 collapses to key 1" 1 (Kg.key_at sharp i)
+  done;
+  (* hot_pct rounding corners: 0% means the hot set is never drawn,
+     100% means the cold set never is — both still sum to 1 *)
+  sums_and_draws (Kg.Hotset { hot_keys = 4; hot_pct = 0 }) ~key_space:16;
+  sums_and_draws (Kg.Hotset { hot_keys = 4; hot_pct = 100 }) ~key_space:16;
+  sums_and_draws (Kg.Hotset { hot_keys = 15; hot_pct = 50 }) ~key_space:16;
+  let cold_only =
+    Kg.create (Kg.Hotset { hot_keys = 4; hot_pct = 0 }) ~key_space:16 ~seed:11
+  in
+  let hot_only =
+    Kg.create (Kg.Hotset { hot_keys = 4; hot_pct = 100 }) ~key_space:16 ~seed:11
+  in
+  for i = 0 to 1_999 do
+    checkb "0% never draws hot" true (Kg.key_at cold_only i > 4);
+    checkb "100% never draws cold" true (Kg.key_at hot_only i <= 4)
+  done
+
 let test_keygen_dist_strings () =
   List.iter
     (fun d -> checkb (Kg.dist_name d) true (Kg.dist_of_string (Kg.dist_name d) = Ok d))
@@ -384,6 +431,7 @@ let () =
             test_keygen_pure_and_stateful;
           Alcotest.test_case "pmf sums to 1" `Quick test_keygen_pmf_sums;
           Alcotest.test_case "validation" `Quick test_keygen_validate_rejects;
+          Alcotest.test_case "edge cases" `Quick test_keygen_edge_cases;
           Alcotest.test_case "dist strings" `Quick test_keygen_dist_strings ] );
       ( "recovery-checker",
         [ Alcotest.test_case "rejects wrapped runs" `Quick
