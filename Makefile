@@ -48,8 +48,8 @@ smoke: build
 	grep -q "digraph persist_graph" /tmp/persistsim-graph.dot
 	dune exec bin/persistsim.exe -- kv --inserts 100 > /dev/null
 	dune exec bin/persistsim.exe -- kv --recovery --samples 100 > /dev/null
-	dune exec bin/persistsim.exe -- perf BENCH_PR9.json > /dev/null
-	dune exec bin/persistsim.exe -- perf BENCH_PR8.json BENCH_PR9.json --report-only > /dev/null
+	dune exec bin/persistsim.exe -- perf BENCH_PR10.json > /dev/null
+	dune exec bin/persistsim.exe -- perf BENCH_PR9.json BENCH_PR10.json --report-only > /dev/null
 
 # Served KV smoke: a small sweep (the amortization table), group-commit
 # recovery injection, and the buggy batcher must be caught.
@@ -71,15 +71,17 @@ explore: build
 # pre-CAS destination flush) must be caught.
 lockfree: build
 	dune exec bin/persistsim.exe -- lockfree --inserts 64 > /dev/null
-	dune exec bin/persistsim.exe -- lockfree --recovery --discipline nvtraverse --depth 2 > /dev/null
-	dune exec bin/persistsim.exe -- lockfree --buggy --depth 2 | grep -q "RECOVERY VIOLATION"
+	dune exec bin/persistsim.exe -- lockfree --recovery --discipline nvtraverse --depth 2 --model sc --max-schedules 2048 > /dev/null
+	dune exec bin/persistsim.exe -- lockfree --recovery --discipline nvtraverse --depth 1 --model tso-buffered > /dev/null
+	dune exec bin/persistsim.exe -- lockfree --buggy --depth 2 --model sc | grep -q "RECOVERY VIOLATION"
 
 # Litmus suite: every program's outcome set checked exhaustively under
-# both machine models (brute force + engine/oracle cross-check), then
-# again with DPOR; the queue sweep on the SC vs TSO machine.
+# the full machine matrix (sc, tso-sync, tso-buffered; brute force +
+# engine/oracle cross-check), then again with DPOR; the queue sweep on
+# the SC vs TSO machine.
 litmus: build
-	dune exec bin/persistsim.exe -- litmus --model both
-	dune exec bin/persistsim.exe -- litmus --model both --dpor
+	dune exec bin/persistsim.exe -- litmus --model all
+	dune exec bin/persistsim.exe -- litmus --model all --dpor
 	dune exec bin/persistsim.exe -- machine --inserts 2000 > /dev/null
 
 # What .github/workflows/ci.yml runs.

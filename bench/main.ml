@@ -400,19 +400,51 @@ let bench_explore_brute =
          ignore (Memsim.Explore.run_all ~limit:100_000 explore_run)))
 
 (* The whole litmus suite, exhaustively checked under TSO (every
-   store-buffer drain interleaving) — brute force vs DPOR. *)
-let bench_litmus how name =
+   store-buffer drain interleaving) — brute force vs DPOR, and under
+   the buffered-persistence machine (persistence-buffer drain
+   interleavings on top). *)
+let bench_litmus how config name =
   Test.make ~name
     (Staged.stage (fun () ->
          List.iter
            (fun t ->
-             let r = Litmus.check ~how ~model:Memsim.Machine.Tso t in
+             let r = Litmus.check ~how ~config t in
              if not (Litmus.pass r) then
                failwith ("litmus failed: " ^ t.Litmus.name))
            Litmus.suite))
 
-let bench_litmus_brute = bench_litmus Litmus.Brute "litmus:suite-tso-brute"
-let bench_litmus_dpor = bench_litmus Litmus.Dpor "litmus:suite-tso-dpor"
+let bench_litmus_brute =
+  bench_litmus Litmus.Brute Litmus.tso_sync_config "litmus:suite-tso-brute"
+
+let bench_litmus_dpor =
+  bench_litmus Litmus.Dpor Litmus.tso_sync_config "litmus:suite-tso-dpor"
+
+let bench_litmus_buffered =
+  bench_litmus Litmus.Dpor Litmus.tso_buffered_config
+    "litmus:suite-tso-buffered-dpor"
+
+(* Persistence-buffer micro: a single thread streaming
+   store+clflushopt pairs through the buffered machine with a trailing
+   sfence; round-robin scheduling retires the buffer oldest-first.
+   Measures the enqueue/eligibility/drain path in isolation. *)
+let bench_persist_buffer =
+  Test.make ~name:"machine:persist-buffer-stream"
+    (Staged.stage (fun () ->
+         let memory = Memsim.Memory.create () in
+         let m =
+           Memsim.Machine.create ~model:Memsim.Machine.Tso
+             ~persistence:Memsim.Machine.Pbuffered ~memory ()
+         in
+         Memsim.Machine.set_sink m ignore;
+         ignore
+           (Memsim.Machine.spawn m (fun () ->
+                for i = 0 to 63 do
+                  let a = (i mod 16) * 8 in
+                  Memsim.Machine.store a (Int64.of_int i);
+                  Memsim.Machine.clflushopt a
+                done;
+                Memsim.Machine.sfence ()));
+         Memsim.Machine.run m))
 
 let tests =
   [ bench_table1; bench_fig3; bench_fig4; bench_fig5; bench_trace_generation;
@@ -423,7 +455,8 @@ let tests =
     bench_lockfree; bench_serve;
     bench_drain;
     bench_epoch_hw; bench_txn_commit; bench_explore_dpor;
-    bench_explore_brute; bench_litmus_brute; bench_litmus_dpor ]
+    bench_explore_brute; bench_litmus_brute; bench_litmus_dpor;
+    bench_litmus_buffered; bench_persist_buffer ]
 
 let run_benchmarks () =
   banner "MICROBENCHMARKS (Bechamel, monotonic clock)";

@@ -799,25 +799,37 @@ let explore_cmd =
   (* The reproducer line re-runs exactly one failing schedule with the
      same sampling seed — paste it verbatim to replay a CI
      counter-example locally. *)
-  let reproducer ~workload ~model_label ~buggy ~threads ~depth ~samples ~seed
-      sched =
+  let reproducer ~workload ~model_label ~machine_label ~buggy ~threads ~depth
+      ~samples ~seed sched =
     Printf.sprintf
-      "persistsim explore --workload %s --model %s%s --threads %d --depth %d \
-       --samples %d --seed %d --replay %s"
-      workload model_label
+      "persistsim explore --workload %s --model %s --machine %s%s --threads \
+       %d --depth %d --samples %d --seed %d --replay %s"
+      workload model_label machine_label
       (if buggy then " --buggy" else "")
       threads depth samples seed
       (Check.Schedule.to_string sched)
   in
-  let run () workload (model : Experiments.Run.model_point) buggy threads
-      depth jobs max_schedules samples seed oracle replay csv =
+  let run () workload (model : Experiments.Run.model_point)
+      (machine_label, mmodel, mpersistence) buggy threads depth jobs
+      max_schedules samples seed oracle replay csv =
+    (* on the TSO machine the paper's atomic persist barrier is not an
+       instruction x86 offers — realize it as the Px86 flush+sfence
+       annotation instead *)
+    let barrier =
+      match mmodel with
+      | Memsim.Machine.Sc -> Memsim.Machine.Pbarrier
+      | Memsim.Machine.Tso -> Memsim.Machine.Flush_sfence
+    in
     let instance_of, label =
       match workload with
       | `Queue ->
         let annotation =
           if buggy then Workloads.Queue.Buggy_epoch else model.annotation
         in
-        let params = Workloads.Queue.explore_params ~threads ~depth annotation in
+        let params =
+          Workloads.Queue.explore_params ~threads ~depth ~machine:mmodel
+            ~persistence:mpersistence ~barrier annotation
+        in
         let params = { params with Workloads.Queue.seed } in
         let cfg = Persistency.Config.make model.mode in
         ( Check.Driver.queue_instance params cfg,
@@ -826,7 +838,10 @@ let explore_cmd =
         let discipline =
           if buggy then Kv.Buggy_undo else Kv.discipline_for model.mode
         in
-        let params = Kv.explore_params ~threads ~depth discipline in
+        let params =
+          Kv.explore_params ~threads ~depth ~machine:mmodel
+            ~persistence:mpersistence ~barrier discipline
+        in
         let params = { params with Kv.seed } in
         let cfg = Persistency.Config.make model.mode in
         (Check.Driver.kv_instance params cfg, Kv.discipline_name discipline)
@@ -878,11 +893,12 @@ let explore_cmd =
       in
       if csv then begin
         print_string
-          "workload,discipline,model,threads,depth,schedules,sleep_skips,\
-           sleep_aborts,steps,complete,distinct_graphs,recovery_checks,\
-           prefixes,verdict,brute_traces,brute_graphs\n";
-        Printf.printf "%s,%s,%s,%d,%d,%d,%d,%d,%d,%b,%d,%d,%d,%s,%s,%s\n"
-          workload_name label model.label threads depth report.stats.schedules
+          "workload,discipline,model,machine,threads,depth,schedules,\
+           sleep_skips,sleep_aborts,steps,complete,distinct_graphs,\
+           recovery_checks,prefixes,verdict,brute_traces,brute_graphs\n";
+        Printf.printf "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%b,%d,%d,%d,%s,%s,%s\n"
+          workload_name label model.label machine_label threads depth
+          report.stats.schedules
           report.stats.sleep_skips report.stats.sleep_aborts
           report.stats.steps report.stats.complete report.distinct
           report.checked report.prefixes verdict
@@ -893,13 +909,13 @@ let explore_cmd =
       end
       else begin
         Printf.printf
-          "explore %s / %s / %s: %d threads x %d ops\n\
+          "explore %s / %s / %s / %s: %d threads x %d ops\n\
           \  schedules executed    %d%s\n\
           \  redundant runs pruned %d aborted, %d skipped before starting\n\
           \  scheduling decisions  %d\n\
           \  distinct persist graphs %d (%d recovery-checked, %d durable \
            prefixes)\n"
-          workload_name label model.label threads depth
+          workload_name label model.label machine_label threads depth
           report.stats.schedules
           (if report.stats.complete then " (complete)" else " (budget hit)")
           report.stats.sleep_aborts report.stats.sleep_skips
@@ -918,7 +934,8 @@ let explore_cmd =
       | Some (sched, f) ->
         Printf.printf "RECOVERY VIOLATION: %s\nreproduce with:\n  %s\n"
           (Recovery.render_failure f)
-          (reproducer ~workload:workload_name ~model_label:model.label ~buggy
+          (reproducer ~workload:workload_name ~model_label:model.label
+             ~machine_label ~buggy
              ~threads ~depth ~samples ~seed sched));
       if report.failure <> None && not buggy then exit 1;
       if report.failure = None && buggy then begin
@@ -932,6 +949,25 @@ let explore_cmd =
     Arg.(value
          & opt (enum [ ("queue", `Queue); ("kv", `Kv) ]) `Queue
          & info [ "workload" ] ~docv:"W" ~doc)
+  in
+  let machine_t =
+    let mconv =
+      Arg.enum
+        [ ("sc", ("sc", Memsim.Machine.Sc, Memsim.Machine.Psync));
+          ("tso", ("tso-sync", Memsim.Machine.Tso, Memsim.Machine.Psync));
+          ( "tso-sync",
+            ("tso-sync", Memsim.Machine.Tso, Memsim.Machine.Psync) );
+          ( "tso-buffered",
+            ("tso-buffered", Memsim.Machine.Tso, Memsim.Machine.Pbuffered) )
+        ]
+    in
+    Arg.(value
+         & opt mconv ("sc", Memsim.Machine.Sc, Memsim.Machine.Psync)
+         & info [ "machine" ] ~docv:"MACHINE"
+             ~doc:"Machine configuration to explore under: $(b,sc) \
+                   (default), $(b,tso-sync) (alias $(b,tso)) or \
+                   $(b,tso-buffered).  On TSO machines persist barriers \
+                   are realized as the Px86 flush+sfence annotation.")
   in
   let buggy_t =
     Arg.(value & flag
@@ -984,49 +1020,54 @@ let explore_cmd =
        ~doc:"Systematically explore scheduler interleavings with dynamic \
              partial-order reduction, failure-injecting recovery on every \
              distinct persist graph.")
-    Term.(const run $ obs_t $ workload_t $ model_t $ buggy_t $ threads_t 2
-          $ depth_t $ jobs_t $ max_schedules_t $ samples_t $ seed_t
-          $ oracle_t $ replay_t $ csv_t)
+    Term.(const run $ obs_t $ workload_t $ model_t $ machine_t $ buggy_t
+          $ threads_t 2 $ depth_t $ jobs_t $ max_schedules_t $ samples_t
+          $ seed_t $ oracle_t $ replay_t $ csv_t)
 
 (* lockfree *)
 
 let lockfree_cmd =
   let exhaustive_limit = 20 in
-  let reproducer ~discipline ~threads ~depth ~samples ~seed sched =
+  let module E = Experiments.Lockfree_exp in
+  let reproducer ~discipline ~model ~threads ~depth ~samples ~seed sched =
     Printf.sprintf
-      "persistsim lockfree --recovery --discipline %s --threads %d --depth %d \
-       --samples %d --seed %d --replay %s"
-      discipline threads depth samples seed
+      "persistsim lockfree --recovery --discipline %s --model %s --threads \
+       %d --depth %d --samples %d --seed %d --replay %s"
+      discipline model threads depth samples seed
       (Check.Schedule.to_string sched)
   in
-  let sweep inserts seed csv jobs =
-    let t = Experiments.Lockfree_exp.run ~jobs ~inserts ~seed () in
+  let sweep inserts seed csv jobs mconfigs =
+    let t = E.run ~jobs ~inserts ~seed ~mconfigs () in
     rendering (fun () ->
-        print_string
-          (if csv then Experiments.Lockfree_exp.to_csv t
-           else Experiments.Lockfree_exp.render t));
-    print_profile t.Experiments.Lockfree_exp.profile
+        print_string (if csv then E.to_csv t else E.render t));
+    print_profile t.E.profile
   in
   let failure_inject discipline threads depth jobs max_schedules samples seed
-      replay =
+      replay mconfigs =
     let module C = Lockfree.Cas_set in
-    let params =
-      { (C.explore_params ~threads ~depth discipline) with C.seed }
+    let params_for (mc : E.mconfig) =
+      { (C.explore_params ~threads ~depth ~machine:mc.E.model
+           ~persistence:mc.E.persistence discipline)
+        with C.seed }
     in
     let cfg = Persistency.Config.make Persistency.Config.Epoch in
-    let instance_of = Check.Driver.lockfree_instance params cfg in
+    let instance_for mc = Check.Driver.lockfree_instance (params_for mc) cfg in
     let strategy = Recovery.auto ~exhaustive_limit ~samples ~seed in
     let dname = C.discipline_name discipline in
     let buggy = discipline = C.Buggy_traverse in
     match replay with
     | Some sched_str ->
+      (* a reproducer line always stamps a single machine configuration;
+         replay the schedule under the first one given *)
+      let mc = List.hd mconfigs in
       let sched = Check.Schedule.of_string sched_str in
-      (match Check.Driver.check_schedule ~strategy sched instance_of with
+      (match Check.Driver.check_schedule ~strategy sched (instance_for mc) with
       | Ok r ->
         Printf.printf
-          "replayed schedule (%d decisions): recovery and durable \
+          "replayed schedule (%d decisions, %s): recovery and durable \
            linearizability hold in all %d durable prefixes of %d persists\n"
-          (Check.Schedule.length sched) r.Recovery.prefixes r.Recovery.nodes;
+          (Check.Schedule.length sched) mc.E.mlabel r.Recovery.prefixes
+          r.Recovery.nodes;
         if buggy then begin
           print_endline
             "ERROR: buggy-traverse survived the replayed schedule (bug not \
@@ -1038,46 +1079,69 @@ let lockfree_cmd =
           (Recovery.render_failure f);
         if not buggy then exit 1)
     | None ->
-      let report =
-        Check.Driver.check ~max_schedules ~jobs ~strategy instance_of
-      in
-      Printf.printf
-        "lockfree / %s: %d threads x %d inserts\n\
-        \  schedules executed    %d%s\n\
-        \  distinct persist graphs %d (%d recovery-checked, %d durable \
-         prefixes)\n"
-        dname threads depth report.Check.Driver.stats.Check.Dpor.schedules
-        (if report.Check.Driver.stats.Check.Dpor.complete then " (complete)"
-         else " (budget hit)")
-        report.Check.Driver.distinct report.Check.Driver.checked
-        report.Check.Driver.prefixes;
-      (match report.Check.Driver.failure with
-      | None ->
-        if buggy then begin
-          print_endline
-            "ERROR: buggy-traverse survived failure injection (bug not \
-             caught)";
-          exit 1
-        end
-        else
-          print_endline
-            "recovery and durable linearizability hold in every durable \
-             prefix of every explored interleaving"
-      | Some (sched, f) ->
-        Printf.printf "RECOVERY VIOLATION: %s\nreproduce with:\n  %s\n"
-          (Recovery.render_failure f)
-          (reproducer ~discipline:dname ~threads ~depth ~samples ~seed sched);
-        if not buggy then exit 1)
+      List.iter
+        (fun (mc : E.mconfig) ->
+          let report =
+            Check.Driver.check ~max_schedules ~jobs ~strategy
+              (instance_for mc)
+          in
+          Printf.printf
+            "lockfree / %s / %s: %d threads x %d inserts\n\
+            \  schedules executed    %d%s\n\
+            \  distinct persist graphs %d (%d recovery-checked, %d durable \
+             prefixes)\n"
+            dname mc.E.mlabel threads depth
+            report.Check.Driver.stats.Check.Dpor.schedules
+            (if report.Check.Driver.stats.Check.Dpor.complete then
+               " (complete)"
+             else " (budget hit)")
+            report.Check.Driver.distinct report.Check.Driver.checked
+            report.Check.Driver.prefixes;
+          match report.Check.Driver.failure with
+          | None ->
+            if buggy then begin
+              print_endline
+                "ERROR: buggy-traverse survived failure injection (bug not \
+                 caught)";
+              exit 1
+            end
+            else
+              print_endline
+                "recovery and durable linearizability hold in every durable \
+                 prefix of every explored interleaving"
+          | Some (sched, f) ->
+            Printf.printf "RECOVERY VIOLATION: %s\nreproduce with:\n  %s\n"
+              (Recovery.render_failure f)
+              (reproducer ~discipline:dname ~model:mc.E.mlabel ~threads
+                 ~depth ~samples ~seed sched);
+            if not buggy then exit 1)
+        mconfigs
   in
   let run () recovery buggy discipline threads depth jobs max_schedules
-      samples seed replay inserts sweep_seed csv =
+      samples seed replay inserts sweep_seed csv mconfigs =
     let discipline =
       if buggy then Lockfree.Cas_set.Buggy_traverse else discipline
     in
     if recovery || buggy || replay <> None then
       failure_inject discipline threads depth jobs max_schedules samples seed
-        replay
-    else sweep inserts sweep_seed csv jobs
+        replay mconfigs
+    else sweep inserts sweep_seed csv jobs mconfigs
+  in
+  let mconfigs_t =
+    let mconv =
+      Arg.enum
+        [ ("sc", [ E.sc_mconfig ]);
+          ("tso", [ E.tso_sync_mconfig ]);
+          ("tso-sync", [ E.tso_sync_mconfig ]);
+          ("tso-buffered", [ E.tso_buffered_mconfig ]);
+          ("all", E.all_mconfigs) ]
+    in
+    Arg.(value & opt mconv E.all_mconfigs
+         & info [ "model" ] ~docv:"MODEL"
+             ~doc:"Machine configuration: $(b,sc), $(b,tso-sync) (alias \
+                   $(b,tso)), $(b,tso-buffered) or $(b,all) (default).  \
+                   Selects the sweep's table rows, or the machines \
+                   failure-injected under --recovery.")
   in
   let discipline_t =
     let doc =
@@ -1153,12 +1217,14 @@ let lockfree_cmd =
     (Cmd.info "lockfree"
        ~doc:"Lock-free durable CAS-set: sweep the NVTraverse flush-elision \
              win (persist critical path per insert, flush-all vs \
-             nvtraverse) over thread counts, or exhaustively failure-inject \
-             one discipline (--recovery) under the durable-linearizability \
+             nvtraverse) over thread counts and the machine matrix (sc, \
+             tso-sync, tso-buffered), or exhaustively failure-inject one \
+             discipline (--recovery) under the durable-linearizability \
              oracle.")
     Term.(const run $ obs_t $ recovery_t $ buggy_t $ discipline_t
           $ threads_t 2 $ depth_t $ jobs_t $ max_schedules_t $ samples_t
-          $ seed_t $ replay_t $ inserts_t $ sweep_seed_t $ csv_t)
+          $ seed_t $ replay_t $ inserts_t $ sweep_seed_t $ csv_t
+          $ mconfigs_t)
 
 (* machine (SC vs TSO) *)
 
@@ -1182,7 +1248,7 @@ let machine_cmd =
 (* litmus *)
 
 let litmus_cmd =
-  let run () models dpor name verbose csv =
+  let run () configs dpor name verbose csv =
     let tests =
       match name with
       | None -> Litmus.suite
@@ -1198,7 +1264,8 @@ let litmus_cmd =
     let results =
       List.concat_map
         (fun t ->
-          List.map (fun model -> Litmus.check ~verify:true ~how ~model t) models)
+          List.map (fun config -> Litmus.check ~verify:true ~how ~config t)
+            configs)
         tests
     in
     rendering (fun () ->
@@ -1207,7 +1274,7 @@ let litmus_cmd =
           List.iter
             (fun (r : Litmus.result) ->
               Printf.printf "%s,%s,%s,%d,%d,%s\n" r.Litmus.test.Litmus.name
-                (Litmus.model_name r.Litmus.model)
+                (Litmus.config_name r.Litmus.config)
                 (Litmus.method_name r.Litmus.how)
                 r.Litmus.schedules
                 (List.length r.Litmus.observed)
@@ -1215,13 +1282,13 @@ let litmus_cmd =
             results
         end
         else begin
-          Printf.printf "%-18s %-5s %-6s %10s %9s  %s\n" "test" "model"
+          Printf.printf "%-24s %-12s %-6s %10s %9s  %s\n" "test" "machine"
             "method" "schedules" "outcomes" "status";
           List.iter
             (fun (r : Litmus.result) ->
-              Printf.printf "%-18s %-5s %-6s %10d %9d  %s\n"
+              Printf.printf "%-24s %-12s %-6s %10d %9d  %s\n"
                 r.Litmus.test.Litmus.name
-                (Litmus.model_name r.Litmus.model)
+                (Litmus.config_name r.Litmus.config)
                 (Litmus.method_name r.Litmus.how)
                 r.Litmus.schedules
                 (List.length r.Litmus.observed)
@@ -1245,14 +1312,19 @@ let litmus_cmd =
   in
   let models_t =
     let model_conv =
-      Arg.enum [ ("sc", [ Memsim.Machine.Sc ]);
-                 ("tso", [ Memsim.Machine.Tso ]);
-                 ("both", [ Memsim.Machine.Sc; Memsim.Machine.Tso ]) ]
+      Arg.enum
+        [ ("sc", [ Litmus.sc_config ]);
+          ("tso", [ Litmus.tso_sync_config ]);
+          ("tso-sync", [ Litmus.tso_sync_config ]);
+          ("tso-buffered", [ Litmus.tso_buffered_config ]);
+          ("both", [ Litmus.sc_config; Litmus.tso_sync_config ]);
+          ("all", Litmus.all_configs) ]
     in
-    Arg.(value & opt model_conv [ Memsim.Machine.Sc; Memsim.Machine.Tso ]
+    Arg.(value & opt model_conv Litmus.all_configs
          & info [ "model" ] ~docv:"MODEL"
-             ~doc:"Machine consistency model: $(b,sc), $(b,tso) or \
-                   $(b,both) (default).")
+             ~doc:"Machine configuration: $(b,sc), $(b,tso-sync) (alias \
+                   $(b,tso)), $(b,tso-buffered), $(b,both) (sc + \
+                   tso-sync) or $(b,all) (default).")
   in
   let dpor_t =
     Arg.(value & flag
@@ -1271,10 +1343,11 @@ let litmus_cmd =
   in
   Cmd.v
     (Cmd.info "litmus"
-       ~doc:"Exhaustively check the litmus-test suite (classic x86 shapes \
-             and Px86 persist-order shapes) against declared outcome sets \
-             under SC and TSO, cross-checking the engine against the \
-             ordering oracle.")
+       ~doc:"Exhaustively check the litmus-test suite (classic x86 shapes, \
+             Px86 persist-order shapes and buffered-persistency shapes) \
+             against declared outcome sets under SC, TSO-sync and \
+             TSO-buffered, cross-checking the engine against the ordering \
+             oracle.")
     Term.(const run $ obs_t $ models_t $ dpor_t $ test_t $ verbose_t $ csv_t)
 
 (* perf: the regression gate over BENCH_*.json files *)

@@ -188,7 +188,7 @@ let observe t ev =
        or fence simply opens a new epoch *)
     let ts = thread t tid in
     ts.cur_epoch <- ts.cur_epoch + 1
-  | Event.Label _ | Event.Flush _ -> ()
+  | Event.Label _ | Event.Flush _ | Event.Pdrain _ -> ()
 
 let finish t =
   Hashtbl.iter

@@ -126,6 +126,19 @@ let choose e (infos : M.step_info array) =
       s.tid
   end
 
+(* A thread and its store-buffer drain agent are the same logical
+   thread: their steps are ordered by program/drain order, so a
+   conflict between them is not a reversible race.  Treating it as one
+   would both waste backtracks and — worse — mask a real race with an
+   earlier step of a genuinely concurrent thread, since the scan below
+   stops at the latest conflicting step.  (Persistence-buffer drain
+   pseudo-threads are genuinely concurrent with everything and are
+   deliberately not excluded.) *)
+let same_logical_thread p q =
+  p = q
+  || (M.is_drain_tid p && M.drain_parent p = q)
+  || (M.is_drain_tid q && M.drain_parent q = p)
+
 (* Conflict-directed backtracking: the executed step [k] races with the
    latest earlier step by another thread whose dynamic footprint
    conflicts with it.  Reversing that race requires running this thread
@@ -138,7 +151,7 @@ let race_detect e k tid accs =
     while (not !found) && !i >= 0 do
       let pi = Vec.get e.stack !i in
       if
-        pi.chosen <> tid
+        (not (same_logical_thread pi.chosen tid))
         && List.exists
              (fun a -> List.exists (fun b -> conflict e.gran a b) pi.accesses)
              accs

@@ -8,6 +8,10 @@ type consistency =
   | Tso
   | Rmo
 
+type px86 =
+  | Px86_sync
+  | Px86_buffered
+
 type t = {
   mode : mode;
   consistency : consistency;
@@ -17,6 +21,7 @@ type t = {
   tso_conflicts : bool;
   persistent_only_conflicts : bool;
   record_graph : bool;
+  px86 : px86;
 }
 
 let mode_name = function
@@ -45,6 +50,15 @@ let consistency_of_name = function
 
 let all_consistencies = [ Sc; Tso; Rmo ]
 
+let px86_name = function
+  | Px86_sync -> "sync"
+  | Px86_buffered -> "buffered"
+
+let px86_of_name = function
+  | "sync" -> Some Px86_sync
+  | "buffered" -> Some Px86_buffered
+  | _ -> None
+
 let check_gran what g =
   if g < 8 || not (Memsim.Addr.is_power_of_two g) then
     invalid_arg
@@ -53,7 +67,8 @@ let check_gran what g =
 
 let make ?(consistency = Sc) ?(track_gran = 8) ?(persist_gran = 8)
     ?(coalescing = true) ?(tso_conflicts = false)
-    ?(persistent_only_conflicts = false) ?(record_graph = false) mode =
+    ?(persistent_only_conflicts = false) ?(record_graph = false)
+    ?(px86 = Px86_sync) mode =
   check_gran "tracking" track_gran;
   check_gran "persist" persist_gran;
   { mode;
@@ -63,13 +78,14 @@ let make ?(consistency = Sc) ?(track_gran = 8) ?(persist_gran = 8)
     coalescing;
     tso_conflicts;
     persistent_only_conflicts;
-    record_graph }
+    record_graph;
+    px86 }
 
 let default mode = make mode
 
 let pp ppf t =
   Format.fprintf ppf
-    "%s%s (track=%dB, persist=%dB%s%s%s)" (mode_name t.mode)
+    "%s%s (track=%dB, persist=%dB%s%s%s%s)" (mode_name t.mode)
     (match t.mode, t.consistency with
     | Strict, (Tso | Rmo) -> "/" ^ consistency_name t.consistency
     | (Strict | Epoch | Strand), _ -> "")
@@ -77,3 +93,4 @@ let pp ppf t =
     (if t.coalescing then "" else ", no-coalesce")
     (if t.tso_conflicts then ", tso-conflicts" else "")
     (if t.persistent_only_conflicts then ", persistent-only" else "")
+    (match t.px86 with Px86_sync -> "" | Px86_buffered -> ", px86-buffered")

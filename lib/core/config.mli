@@ -36,6 +36,18 @@ type consistency =
           [Persist_barrier] events as fences) and same-address
           dependences *)
 
+(** Px86 persist semantics of flushed lines (only meaningful for
+    traces produced by a machine with the matching
+    {!Memsim.Machine.persistence}). *)
+type px86 =
+  | Px86_sync
+      (** a flushed line is durable once ordered by a fence: the
+          fence's commit point fixes the durable frontier *)
+  | Px86_buffered
+      (** flushed lines persist asynchronously at their
+          {!Memsim.Event.Pdrain} events; fences only order the
+          persistence buffer *)
+
 type t = {
   mode : mode;
   consistency : consistency;  (** used by [Strict] mode only *)
@@ -56,6 +68,9 @@ type t = {
   record_graph : bool;
       (** build the explicit persist dependence graph (needed by the
           recovery observer; costs memory) *)
+  px86 : px86;
+      (** buffered vs synchronous Px86 flush durability (order-only
+          edges in the persist graph; levels are unaffected) *)
 }
 
 val mode_name : mode -> string
@@ -66,6 +81,9 @@ val consistency_name : consistency -> string
 val consistency_of_name : string -> consistency option
 val all_consistencies : consistency list
 
+val px86_name : px86 -> string
+val px86_of_name : string -> px86 option
+
 val make :
   ?consistency:consistency ->
   ?track_gran:int ->
@@ -74,10 +92,11 @@ val make :
   ?tso_conflicts:bool ->
   ?persistent_only_conflicts:bool ->
   ?record_graph:bool ->
+  ?px86:px86 ->
   mode ->
   t
 (** Defaults: 8-byte tracking and persist granularity, coalescing on,
-    SC conflicts in both address spaces, no graph.
+    SC conflicts in both address spaces, no graph, synchronous Px86.
     @raise Invalid_argument on granularities that are not powers of two
     or are smaller than 8. *)
 

@@ -16,6 +16,8 @@ let m_strands = M.counter M.default "engine.new_strands"
 let m_labels = M.counter M.default "engine.labels"
 let m_flushes = M.counter M.default "engine.flushes"
 let m_fences = M.counter M.default "engine.fences"
+let m_pdrains = M.counter M.default "engine.pdrains"
+let m_order_edges = M.counter M.default "engine.order_edges"
 let m_cp = M.gauge_max M.default "engine.critical_path_max"
 let m_events_rate = M.gauge_max M.default "engine.events_per_sec"
 let m_level = M.histogram M.default "engine.persist_level"
@@ -68,6 +70,16 @@ type t = {
   closed : (int, unit) Hashtbl.t;
       (* nodes some other persist depends on: no further coalescing *)
   labels : (string, int ref) Hashtbl.t;
+  mutable durable_f : Iset.t;
+      (* Px86 durable frontier: persists whose flushed lines are known
+         durable (fence-committed under [Px86_sync], drained under
+         [Px86_buffered]).  Every later persist is cut-ordered after
+         them via order-only edges — levels are never affected. *)
+  pend : (int, Iset.t Queue.t) Hashtbl.t;
+      (* Px86_buffered: per cache line (8-byte base), the persist
+         frontiers captured by flushes still sitting in the machine's
+         persistence buffer; [Pdrain] pops the front (the machine's
+         buffer is per-line FIFO, so fronts stay aligned) *)
   mutable next_node : int;  (* node counter when no graph is recorded *)
   mutable max_level : int;
   mutable persist_events : int;
@@ -84,6 +96,8 @@ let create cfg =
     persist_nodes = Vec.create ();
     closed = Hashtbl.create 1024;
     labels = Hashtbl.create 4;
+    durable_f = Iset.empty;
+    pend = Hashtbl.create 64;
     next_node = 0;
     max_level = 0;
     persist_events = 0;
@@ -132,9 +146,9 @@ let tracked_block t (a : Event.access) =
   assert (b0 = b1);
   b0
 
-let fresh_node t ~tid ~level ~deps write =
+let fresh_node t ~tid ~level ~deps ~order write =
   match t.graph with
-  | Some g -> Persist_graph.add_node g ~tid ~level ~deps write
+  | Some g -> Persist_graph.add_node g ~tid ~level ~deps ~order write
   | None ->
     let id = t.next_node in
     t.next_node <- id + 1;
@@ -177,12 +191,32 @@ let persist t (a : Event.access) ~sources ~deps_f =
   let pb = Memsim.Addr.block ~gran:t.cfg.Config.persist_gran a.addr in
   let write = { Persist_graph.addr = a.addr; size = a.size; value = a.value } in
   let full = List.fold_left Level.merge Level.bottom sources in
+  (* Px86 durability: persists already durable when this one is created
+     become order-only edges — they bound recovery cuts but carry no
+     level, because a line parked in the persistence buffer does not
+     delay later persists. *)
+  let order_f =
+    if record_graph t then Iset.diff t.durable_f deps_f else Iset.empty
+  in
+  if not (Iset.is_empty order_f) then
+    M.add m_order_edges (Iset.cardinal order_f);
   let node, level =
     match Hashtbl.find_opt t.opens pb with
     | Some op
       when t.cfg.Config.coalescing
            && (not (Hashtbl.mem t.closed op.node))
-           && Level.excluding ~node:op.node sources < op.level ->
+           && Level.excluding ~node:op.node sources < op.level
+           && (match t.graph with
+              | Some g ->
+                (* an order dep at or above the open persist's level
+                   could already be ordered after it; merging would
+                   close a cycle in the cut DAG *)
+                Iset.for_all
+                  (fun d ->
+                    d = op.node
+                    || (Persist_graph.get g d).Persist_graph.level < op.level)
+                  order_f
+              | None -> true) ->
       (* Coalesce into the block's open persist: every dependence not
          produced by that persist is strictly older, and nothing has
          been ordered after the open persist yet. *)
@@ -190,12 +224,13 @@ let persist t (a : Event.access) ~sources ~deps_f =
       M.incr m_coalesced;
       op.merged <- op.merged + 1;
       (match t.graph with
-      | Some g -> Persist_graph.coalesce_into g op.node ~deps:deps_f write
+      | Some g ->
+        Persist_graph.coalesce_into g op.node ~deps:deps_f ~order:order_f write
       | None -> ());
       (op.node, op.level)
     | (Some _ | None) as replaced ->
       let level = Level.level full + 1 in
-      let node = fresh_node t ~tid:a.tid ~level ~deps:deps_f write in
+      let node = fresh_node t ~tid:a.tid ~level ~deps:deps_f ~order:order_f write in
       (* The block's previous open persist (if any) ends its coalescing
          run here; runs still open at end of trace go unobserved. *)
       (match replaced with
@@ -226,8 +261,35 @@ let persist t (a : Event.access) ~sources ~deps_f =
   end;
   (Level.of_node ~level ~node, Iset.singleton node)
 
+(* Commit the flush set like an sfence: into the thread's views and —
+   under synchronous Px86 — into the global durable frontier (the fence
+   blocks until the flushed lines reach NVRAM).  Under buffered Px86
+   the fence only orders the persistence buffer; durability arrives at
+   the matching [Pdrain] events. *)
+let commit_flushes t ts =
+  ts.barrier <- Level.merge ts.barrier ts.flush_acc;
+  ts.acc <- Level.merge ts.acc ts.flush_acc;
+  if record_graph t then begin
+    ts.barrier_f <- Iset.union ts.barrier_f ts.flush_f;
+    ts.acc_f <- Iset.union ts.acc_f ts.flush_f;
+    if t.cfg.Config.px86 = Config.Px86_sync && not (Iset.is_empty ts.flush_f)
+    then t.durable_f <- reduce t (Iset.union t.durable_f ts.flush_f)
+  end;
+  ts.flush_acc <- Level.bottom;
+  ts.flush_f <- Iset.empty
+
 let access t kind (a : Event.access) =
   let ts = thread t a.tid in
+  (* A locked RMW drains the store buffer and orders the persistence
+     buffer exactly like sfence (Px86: RMW-as-fence), so pending
+     flushes commit before the access itself is processed. *)
+  (match kind with
+  | Event.Rmw
+    when (match t.cfg.Config.mode with
+         | Config.Epoch | Config.Strand -> true
+         | Config.Strict -> false) ->
+    commit_flushes t ts
+  | Event.Rmw | Event.Load | Event.Store -> ());
   let conflicts_tracked =
     (not t.cfg.Config.persistent_only_conflicts)
     || Memsim.Addr.equal_space a.space Memsim.Addr.Persistent
@@ -347,10 +409,7 @@ let observe t ev =
     | Config.Epoch | Config.Strand ->
       let ts = thread t tid in
       (* the epoch barrier subsumes a fence: pending flushes commit *)
-      ts.acc <- Level.merge ts.acc ts.flush_acc;
-      if record_graph t then ts.acc_f <- Iset.union ts.acc_f ts.flush_f;
-      ts.flush_acc <- Level.bottom;
-      ts.flush_f <- Iset.empty;
+      commit_flushes t ts;
       barrier_of t ts
     | Config.Strict ->
       (* under a relaxed consistency the event doubles as the memory
@@ -386,11 +445,28 @@ let observe t ev =
     | Config.Epoch | Config.Strand ->
       let ts = thread t tid in
       let b = Memsim.Addr.block ~gran:t.cfg.Config.track_gran addr in
-      (match Hashtbl.find_opt t.blocks b with
-      | Some bs ->
-        ts.flush_acc <- Level.merge ts.flush_acc bs.store_l;
-        if record_graph t then ts.flush_f <- Iset.union ts.flush_f bs.store_f
-      | None -> ())
+      let capture_f =
+        match Hashtbl.find_opt t.blocks b with
+        | Some bs ->
+          ts.flush_acc <- Level.merge ts.flush_acc bs.store_l;
+          if record_graph t then ts.flush_f <- Iset.union ts.flush_f bs.store_f;
+          bs.store_f
+        | None -> Iset.empty
+      in
+      if record_graph t && t.cfg.Config.px86 = Config.Px86_buffered then begin
+        let line = addr asr 3 in
+        let q =
+          match Hashtbl.find_opt t.pend line with
+          | Some q -> q
+          | None ->
+            let q = Queue.create () in
+            Hashtbl.add t.pend line q;
+            q
+        in
+        (* push even when the capture is empty so queue fronts stay
+           aligned with the machine's per-line persistence-buffer FIFO *)
+        Queue.push capture_f q
+      end
     | Config.Strict -> ())
   | Event.Fence { tid; _ } ->
     (* sfence/mfence: commit the flushes accumulated since the last
@@ -402,17 +478,7 @@ let observe t ev =
     M.incr m_fences;
     let ts = thread t tid in
     (match t.cfg.Config.mode with
-    | Config.Epoch | Config.Strand ->
-      ts.barrier <- Level.merge ts.barrier ts.flush_acc;
-      (* also fold into [acc] so the next barrier's frontier snapshot
-         ([barrier_f <- acc_f]) keeps covering the fence's commits *)
-      ts.acc <- Level.merge ts.acc ts.flush_acc;
-      if record_graph t then begin
-        ts.barrier_f <- Iset.union ts.barrier_f ts.flush_f;
-        ts.acc_f <- Iset.union ts.acc_f ts.flush_f
-      end;
-      ts.flush_acc <- Level.bottom;
-      ts.flush_f <- Iset.empty
+    | Config.Epoch | Config.Strand -> commit_flushes t ts
     | Config.Strict ->
       (match t.cfg.Config.consistency with
       | Config.Sc -> ()
@@ -420,6 +486,19 @@ let observe t ev =
         barrier_of t ts;
         ts.ld_view <- ts.acc;
         if record_graph t then ts.ld_view_f <- ts.acc_f))
+  | Event.Pdrain { addr; _ } ->
+    (* the persistence buffer drained this line: the persists captured
+       by the matching flush are durable, and every persist created
+       from here on is cut-ordered after them *)
+    M.incr m_pdrains;
+    if record_graph t && t.cfg.Config.px86 = Config.Px86_buffered then begin
+      match Hashtbl.find_opt t.pend (addr asr 3) with
+      | Some q when not (Queue.is_empty q) ->
+        let capture = Queue.pop q in
+        if not (Iset.is_empty capture) then
+          t.durable_f <- reduce t (Iset.union t.durable_f capture)
+      | Some _ | None -> ()
+    end
   | Event.Label (_, name) ->
     M.incr m_labels;
     (match Hashtbl.find_opt t.labels name with

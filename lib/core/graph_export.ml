@@ -82,7 +82,11 @@ let to_dot ppf g =
           in
           let attrs = if bold then " [color=red, penwidth=2.0]" else "" in
           Format.fprintf ppf "  n%d -> n%d%s;@." dep n.Pg.id attrs)
-        n.Pg.deps)
+        n.Pg.deps;
+      Iset.iter
+        (fun dep ->
+          Format.fprintf ppf "  n%d -> n%d [style=dashed];@." dep n.Pg.id)
+        n.Pg.order)
     g;
   Format.fprintf ppf "}@."
 
@@ -103,6 +107,9 @@ let to_jsonl ppf g =
       let deps =
         List.map (fun d -> Obs.Json.Int d) (Iset.elements n.Pg.deps)
       in
+      let order =
+        List.map (fun d -> Obs.Json.Int d) (Iset.elements n.Pg.order)
+      in
       let line =
         Obs.Json.Obj
           [ ("id", Obs.Json.Int n.Pg.id);
@@ -110,7 +117,8 @@ let to_jsonl ppf g =
             ("level", Obs.Json.Int n.Pg.level);
             ("critical", Obs.Json.Bool (Iset.mem n.Pg.id critical));
             ("writes", Obs.Json.List (List.rev writes));
-            ("deps", Obs.Json.List deps) ]
+            ("deps", Obs.Json.List deps);
+            ("order", Obs.Json.List order) ]
       in
       Format.fprintf ppf "%s@." (Obs.Json.to_string line))
     g
@@ -181,6 +189,11 @@ let fingerprint g =
         List.sort compare (List.map (fun d -> canon.(d)) (Iset.elements node.Pg.deps))
       in
       List.iter (fun d -> Printf.bprintf buf "d%d;" d) deps;
+      let order =
+        List.sort compare
+          (List.map (fun d -> canon.(d)) (Iset.elements node.Pg.order))
+      in
+      List.iter (fun d -> Printf.bprintf buf "o%d;" d) order;
       Buffer.add_char buf '\n')
     order;
   Digest.to_hex (Digest.string (Buffer.contents buf))

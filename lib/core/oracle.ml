@@ -27,6 +27,11 @@ type thread_ctx = {
   mutable last_fence : int option;
       (* Px86 (epoch/strand): the last sfence/mfence, which orders the
          flushes it committed before the thread's later accesses *)
+  mutable committed : int list;
+      (* Px86 (epoch/strand): flushes committed by a locked RMW
+         (RMW-as-fence).  Unlike a fence they order only the thread's
+         later accesses, not the RMW's own persist, so they stay edges
+         from the flush events until a real fence subsumes them. *)
 }
 
 (* How same-thread events order persists:
@@ -59,7 +64,8 @@ let build (cfg : Config.t) trace =
           last_access = None;
           all = [];
           flushes = [];
-          last_fence = None }
+          last_fence = None;
+          committed = [] }
       in
       Hashtbl.add threads tid c;
       c
@@ -75,6 +81,14 @@ let build (cfg : Config.t) trace =
     | Event.Access (kind, a) ->
       if Event.is_persist (Event.Access (kind, a)) then persists := i :: !persists;
       let c = ctx a.tid in
+      (* A locked RMW commits the pending flushes like sfence
+         (Px86 RMW-as-fence, mirroring [Engine]): the captures are
+         ordered before the RMW and the thread's later accesses. *)
+      (match kind, cfg.Config.mode with
+      | Event.Rmw, (Config.Epoch | Config.Strand) ->
+        c.committed <- c.flushes @ c.committed;
+        c.flushes <- []
+      | (Event.Rmw | Event.Load | Event.Store), _ -> ());
       (* Rule 1: same-thread ordering. *)
       (match disc with
       | Chain_all ->
@@ -100,6 +114,7 @@ let build (cfg : Config.t) trace =
         (match c.last_fence with
         | Some f -> Dag.add_edge dag f i
         | None -> ());
+        List.iter (fun f -> Dag.add_edge dag f i) c.committed;
         c.cur <- i :: c.cur);
       (* Rule 2: conflicting accesses in trace (SC) order. *)
       let conflicts_tracked =
@@ -135,12 +150,14 @@ let build (cfg : Config.t) trace =
         List.iter (fun e -> Dag.add_edge dag e i) c.cur;
         (* the epoch barrier subsumes a fence: pending flushes commit *)
         List.iter (fun f -> Dag.add_edge dag f i) c.flushes;
+        List.iter (fun f -> Dag.add_edge dag f i) c.committed;
         (match c.last_barrier with
         | Some b -> Dag.add_edge dag b i
         | None -> ());
         c.last_barrier <- Some i;
         c.cur <- [];
-        c.flushes <- []
+        c.flushes <- [];
+        c.committed <- []
       | Pairwise_tso ->
         let c = ctx tid in
         List.iter (fun (j, _) -> Dag.add_edge dag j i) c.all;
@@ -153,7 +170,8 @@ let build (cfg : Config.t) trace =
         c.last_barrier <- None;
         c.cur <- [];
         c.flushes <- [];
-        c.last_fence <- None
+        c.last_fence <- None;
+        c.committed <- []
       | Config.Strict | Config.Epoch -> ())
     | Event.Flush { tid; addr; _ } ->
       (* Px86 writeback request: ordered after the stores that produced
@@ -180,6 +198,7 @@ let build (cfg : Config.t) trace =
            (Rule 1's [last_fence] edge) are ordered after them *)
         let c = ctx tid in
         List.iter (fun f -> Dag.add_edge dag f i) c.flushes;
+        List.iter (fun f -> Dag.add_edge dag f i) c.committed;
         (match c.last_barrier with
         | Some b -> Dag.add_edge dag b i
         | None -> ());
@@ -187,6 +206,7 @@ let build (cfg : Config.t) trace =
         | Some f -> Dag.add_edge dag f i
         | None -> ());
         c.flushes <- [];
+        c.committed <- [];
         c.last_fence <- Some i
       | Config.Strict ->
         (* the fence doubles as the consistency fence, exactly like a
@@ -205,6 +225,10 @@ let build (cfg : Config.t) trace =
           List.iter (fun (j, _) -> Dag.add_edge dag j i) c.all;
           c.all <- (i, None) :: c.all
         | Chain_all -> ()))
+    | Event.Pdrain _ ->
+      (* persistence-buffer drains affect durability (crash cuts), not
+         the required persist order the oracle validates *)
+      ()
     | Event.Label _ -> ()
   done;
   { n; dag; persists = List.rev !persists; reach = Hashtbl.create 64 }

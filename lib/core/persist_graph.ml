@@ -6,6 +6,7 @@ type node = {
   mutable level : int;
   writes : write Memsim.Vec.t;
   mutable deps : Iset.t;
+  mutable order : Iset.t;
 }
 
 type t = { nodes : node Memsim.Vec.t }
@@ -15,32 +16,47 @@ let create () = { nodes = Memsim.Vec.create () }
 let node_count t = Memsim.Vec.length t.nodes
 let get t id = Memsim.Vec.get t.nodes id
 
-let add_node t ~tid ~level ~deps write =
+let add_node t ~tid ~level ~deps ?(order = Iset.empty) write =
   let id = node_count t in
   let writes = Memsim.Vec.create () in
   Memsim.Vec.push writes write;
-  Memsim.Vec.push t.nodes { id; tid; level; writes; deps = Iset.remove id deps };
+  Memsim.Vec.push t.nodes
+    { id;
+      tid;
+      level;
+      writes;
+      deps = Iset.remove id deps;
+      order = Iset.remove id order };
   id
 
-let coalesce_into t id ~deps write =
+let coalesce_into t id ~deps ?(order = Iset.empty) write =
   let n = get t id in
   Memsim.Vec.push n.writes write;
-  n.deps <- Iset.union n.deps (Iset.remove id deps)
+  n.deps <- Iset.union n.deps (Iset.remove id deps);
+  n.order <- Iset.union n.order (Iset.remove id order)
 
 let iter f t = Memsim.Vec.iter f t.nodes
 
 let edge_count t =
   Memsim.Vec.fold_left (fun acc n -> acc + Iset.cardinal n.deps) 0 t.nodes
 
+let order_edge_count t =
+  Memsim.Vec.fold_left (fun acc n -> acc + Iset.cardinal n.order) 0 t.nodes
+
 let to_dag t =
   let dag = Dag.create ~n:(node_count t) in
-  iter (fun n -> Iset.iter (fun dep -> Dag.add_edge dag dep n.id) n.deps) t;
+  iter
+    (fun n ->
+      Iset.iter (fun dep -> Dag.add_edge dag dep n.id) n.deps;
+      Iset.iter (fun dep -> Dag.add_edge dag dep n.id) n.order)
+    t;
   dag
 
 let pp ppf t =
   iter
     (fun n ->
-      Format.fprintf ppf "n%d level=%d writes=%d deps=%a@." n.id n.level
+      Format.fprintf ppf "n%d level=%d writes=%d deps=%a order=%a@." n.id
+        n.level
         (Memsim.Vec.length n.writes)
-        Iset.pp n.deps)
+        Iset.pp n.deps Iset.pp n.order)
     t

@@ -5,6 +5,15 @@
     nodes it must persist {e after}.  Any down-closed set of nodes is a
     state the recovery observer may see at failure (see {!Observer}).
 
+    Two edge kinds are distinguished.  [deps] are the persistency-model
+    dependences of the paper (Section 5) — they both constrain crash
+    states and propagate {e levels}, the persist-critical-path clock.
+    [order] edges are {e order-only}: they constrain which down-closed
+    cuts are reachable (durability ordering, e.g. Px86 flush+fence
+    frontiers) but do not contribute to levels, because a flushed line
+    waiting in the persistence buffer does not delay later persists —
+    it only bounds what recovery may observe.
+
     Node ids are dense and assigned in creation order; creation order
     is consistent with the SC order of the underlying stores, so
     applying the writes of a down-closed set in id order yields the
@@ -18,6 +27,8 @@ type node = {
   mutable level : int;
   writes : write Memsim.Vec.t;  (** in store order *)
   mutable deps : Iset.t;  (** node ids this node persists after *)
+  mutable order : Iset.t;
+      (** order-only edges: constrain crash cuts, not levels *)
 }
 
 type t
@@ -26,18 +37,25 @@ val create : unit -> t
 val node_count : t -> int
 val get : t -> int -> node
 
-val add_node : t -> tid:int -> level:int -> deps:Iset.t -> write -> int
-(** Create a fresh atomic persist; returns its id.  [deps] never
-    contains the new id. *)
+val add_node :
+  t -> tid:int -> level:int -> deps:Iset.t -> ?order:Iset.t -> write -> int
+(** Create a fresh atomic persist; returns its id.  Neither [deps] nor
+    [order] ever contains the new id. *)
 
-val coalesce_into : t -> int -> deps:Iset.t -> write -> unit
+val coalesce_into : t -> int -> deps:Iset.t -> ?order:Iset.t -> write -> unit
 (** Merge a later persist's write and newly discovered dependences into
     an existing node (self-dependences are dropped). *)
 
 val iter : (node -> unit) -> t -> unit
+
 val edge_count : t -> int
+(** [deps] edges only (the paper's persist dependences). *)
+
+val order_edge_count : t -> int
+(** order-only edges. *)
 
 val to_dag : t -> Dag.t
-(** Dependence DAG over node ids ([dep -> node] edges). *)
+(** Dependence DAG over node ids ([dep -> node] edges), including
+    order-only edges — so {!Observer} crash cuts respect both. *)
 
 val pp : Format.formatter -> t -> unit

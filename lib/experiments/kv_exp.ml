@@ -79,7 +79,10 @@ let kv_params ?(threads = 1) ?(total_ops = default_total_ops) ?(get_every = 4)
     group_size;
     seed;
     policy = Memsim.Machine.Random seed;
-    dist }
+    dist;
+    machine = Memsim.Machine.Sc;
+    persistence = Memsim.Machine.Psync;
+    barrier = Memsim.Machine.Pbarrier }
 
 type cell = {
   model : string;

@@ -7,6 +7,27 @@
    destination window. *)
 
 module C = Lockfree.Cas_set
+module M = Memsim.Machine
+
+(* The machine matrix the sweep runs under: the NVTraverse win is a
+   statement about persist dependence chains, so it must hold whether
+   persists commit synchronously at the fence (sc, tso-sync) or drain
+   asynchronously from the persistence buffer (tso-buffered). *)
+type mconfig = {
+  mlabel : string;
+  model : M.model;
+  persistence : M.persistence;
+}
+
+let sc_mconfig = { mlabel = "sc"; model = M.Sc; persistence = M.Psync }
+
+let tso_sync_mconfig =
+  { mlabel = "tso-sync"; model = M.Tso; persistence = M.Psync }
+
+let tso_buffered_mconfig =
+  { mlabel = "tso-buffered"; model = M.Tso; persistence = M.Pbuffered }
+
+let all_mconfigs = [ sc_mconfig; tso_sync_mconfig; tso_buffered_mconfig ]
 
 type metrics = {
   inserts : int;
@@ -60,16 +81,19 @@ let analyze_with_graph params cfg =
   in
   (metrics_of engine result, graph, result.C.layout)
 
-let set_params ?(threads = 2) ?(inserts = 256) ?(seed = 42) discipline =
+let set_params ?(threads = 2) ?(inserts = 256) ?(seed = 42)
+    ?(mconfig = sc_mconfig) discipline =
   { C.discipline;
     threads;
     inserts_per_thread = inserts;
     key_space = 2 * threads * inserts;
     seed;
     policy = Memsim.Machine.Random seed;
-    machine = Memsim.Machine.Sc }
+    machine = mconfig.model;
+    persistence = mconfig.persistence }
 
 type cell = {
+  machine : string;  (** mconfig label: sc, tso-sync or tso-buffered *)
   threads : int;
   cp_flush_all : float;
   cp_nvtraverse : float;
@@ -85,41 +109,51 @@ type t = {
 }
 
 let run ?(jobs = 1) ?(threads_list = [ 1; 2; 4 ]) ?(inserts = 256)
-    ?(seed = 42) () =
+    ?(seed = 42) ?(mconfigs = all_mconfigs) () =
   let disciplines = [ C.Flush_all; C.Nvtraverse ] in
   let sweep =
     List.concat_map
-      (fun threads -> List.map (fun d -> (threads, d)) disciplines)
-      threads_list
+      (fun mc ->
+        List.concat_map
+          (fun threads -> List.map (fun d -> (mc, threads, d)) disciplines)
+          threads_list)
+      mconfigs
   in
   let points, profile =
     Parallel.Pool.map_cells_profiled ~domains:jobs
-      ~label:(fun _ (threads, d) ->
-        Printf.sprintf "lockfree/%s/%dT" (C.discipline_name d) threads)
-      (fun (threads, d) ->
-        let params = set_params ~threads ~inserts ~seed d in
+      ~label:(fun _ (mc, threads, d) ->
+        Printf.sprintf "lockfree/%s/%s/%dT" mc.mlabel (C.discipline_name d)
+          threads)
+      (fun (mc, threads, d) ->
+        let params = set_params ~threads ~inserts ~seed ~mconfig:mc d in
         let cfg = Persistency.Config.make Persistency.Config.Epoch in
-        (threads, d, analyze params cfg))
+        (mc, threads, d, analyze params cfg))
       sweep
   in
-  let find threads d =
-    let _, _, m =
-      List.find (fun (t, d', _) -> t = threads && d' = d) points
+  let find mc threads d =
+    let _, _, _, m =
+      List.find
+        (fun (mc', t, d', _) -> mc'.mlabel = mc.mlabel && t = threads && d' = d)
+        points
     in
     m
   in
   let cells =
-    List.map
-      (fun threads ->
-        let base = find threads C.Flush_all in
-        let opt = find threads C.Nvtraverse in
-        { threads;
-          cp_flush_all = base.cp_per_insert;
-          cp_nvtraverse = opt.cp_per_insert;
-          saving = 1. -. (opt.cp_per_insert /. base.cp_per_insert);
-          persists_flush_all = base.persist_ops;
-          persists_nvtraverse = opt.persist_ops })
-      threads_list
+    List.concat_map
+      (fun mc ->
+        List.map
+          (fun threads ->
+            let base = find mc threads C.Flush_all in
+            let opt = find mc threads C.Nvtraverse in
+            { machine = mc.mlabel;
+              threads;
+              cp_flush_all = base.cp_per_insert;
+              cp_nvtraverse = opt.cp_per_insert;
+              saving = 1. -. (opt.cp_per_insert /. base.cp_per_insert);
+              persists_flush_all = base.persist_ops;
+              persists_nvtraverse = opt.persist_ops })
+          threads_list)
+      mconfigs
   in
   { inserts; cells; profile }
 
@@ -127,7 +161,8 @@ let cells t = t.cells
 
 let render t =
   let columns =
-    [ ("Threads", Report.Table.Right);
+    [ ("Machine", Report.Table.Left);
+      ("Threads", Report.Table.Right);
       ("flush-all cp/insert", Report.Table.Right);
       ("nvtraverse cp/insert", Report.Table.Right);
       ("saving", Report.Table.Right);
@@ -138,7 +173,8 @@ let render t =
   List.iter
     (fun c ->
       Report.Table.add_row table
-        [ string_of_int c.threads;
+        [ c.machine;
+          string_of_int c.threads;
           Report.Table.fmt_float ~decimals:3 c.cp_flush_all;
           Report.Table.fmt_float ~decimals:3 c.cp_nvtraverse;
           Printf.sprintf "%.1f%%" (c.saving *. 100.);
@@ -148,18 +184,20 @@ let render t =
   Printf.sprintf
     "Lock-free CAS set: persist critical path per insert, epoch model\n\
      (%d inserts per thread; flush-all persists the whole traversal, \
-     nvtraverse only the destination window)\n\n\
+     nvtraverse only the destination window; tso-buffered drains persists \
+     asynchronously)\n\n\
      %s"
     t.inserts (Report.Table.render table)
 
 let to_csv t =
   Report.Csv.to_string
     ~header:
-      [ "threads"; "cp_flush_all"; "cp_nvtraverse"; "saving";
+      [ "machine"; "threads"; "cp_flush_all"; "cp_nvtraverse"; "saving";
         "persists_flush_all"; "persists_nvtraverse" ]
     (List.map
        (fun c ->
-         [ string_of_int c.threads;
+         [ c.machine;
+           string_of_int c.threads;
            Printf.sprintf "%.6f" c.cp_flush_all;
            Printf.sprintf "%.6f" c.cp_nvtraverse;
            Printf.sprintf "%.6f" c.saving;

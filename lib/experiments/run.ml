@@ -91,7 +91,8 @@ let default_capacity = 24
 let queue_params ?(design = Workloads.Queue.Cwl) ?(threads = 1)
     ?(total_inserts = default_total_inserts)
     ?(capacity_entries = default_capacity) ?(entry_size = 100) ?(seed = 42)
-    ?(machine = Memsim.Machine.Sc) point =
+    ?(machine = Memsim.Machine.Sc) ?(persistence = Memsim.Machine.Psync)
+    ?(barrier = Memsim.Machine.Pbarrier) point =
   if total_inserts mod threads <> 0 then
     invalid_arg "Run.queue_params: total_inserts must divide by threads";
   { Workloads.Queue.design;
@@ -102,4 +103,6 @@ let queue_params ?(design = Workloads.Queue.Cwl) ?(threads = 1)
     capacity_entries = max capacity_entries threads;
     seed;
     policy = Memsim.Machine.Random seed;
-    machine }
+    machine;
+    persistence;
+    barrier }

@@ -48,6 +48,8 @@ val queue_params :
   ?entry_size:int ->
   ?seed:int ->
   ?machine:Memsim.Machine.model ->
+  ?persistence:Memsim.Machine.persistence ->
+  ?barrier:Memsim.Machine.barrier_impl ->
   model_point ->
   Workloads.Queue.params
 (** Experiment defaults: CWL, 1 thread, 20_000 inserts total, 24-entry

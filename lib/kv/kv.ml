@@ -28,6 +28,9 @@ type params = {
   seed : int;
   policy : M.policy;
   dist : Workloads.Keygen.dist;
+  machine : M.model;
+  persistence : M.persistence;
+  barrier : M.barrier_impl;
 }
 
 type layout = {
@@ -61,9 +64,13 @@ let default_params =
     group_size = 8;
     seed = 42;
     policy = M.Round_robin;
-    dist = Workloads.Keygen.Uniform }
+    dist = Workloads.Keygen.Uniform;
+    machine = M.Sc;
+    persistence = M.Psync;
+    barrier = M.Pbarrier }
 
-let explore_params ?(threads = 2) ?(depth = 2) discipline =
+let explore_params ?(threads = 2) ?(depth = 2) ?(machine = M.Sc)
+    ?(persistence = M.Psync) ?(barrier = M.Pbarrier) discipline =
   { discipline;
     threads;
     ops_per_thread = depth;
@@ -73,7 +80,10 @@ let explore_params ?(threads = 2) ?(depth = 2) discipline =
     group_size = 4;
     seed = 1;
     policy = M.Round_robin;
-    dist = Workloads.Keygen.Uniform }
+    dist = Workloads.Keygen.Uniform;
+    machine;
+    persistence;
+    barrier }
 
 let discipline_name = function
   | Strict_stores -> "strict-stores"
@@ -277,7 +287,10 @@ let run (p : params) ~sink =
       ~volatile_capacity:(4096 + (64 * p.groups) + (32 * p.threads))
       ()
   in
-  let machine = M.create ~policy:p.policy ~memory () in
+  let machine =
+    M.create ~policy:p.policy ~model:p.machine ~persistence:p.persistence
+      ~barrier:p.barrier ~memory ()
+  in
   M.set_sink machine sink;
   let table_addr =
     Memsim.Memory.alloc memory Memsim.Addr.Persistent table_bytes

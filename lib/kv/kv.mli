@@ -56,6 +56,14 @@ type params = {
           and [Hotset] delegate to {!Workloads.Keygen} (still a pure
           function of seed and draw index, so recovery replay works
           unchanged). *)
+  machine : Memsim.Machine.model;
+      (** consistency model; [Tso] adds per-thread store buffers *)
+  persistence : Memsim.Machine.persistence;
+      (** [Pbuffered] drains flushed lines asynchronously from the
+          persistence buffer instead of committing them at the fence *)
+  barrier : Memsim.Machine.barrier_impl;
+      (** how persist barriers are realized: the paper's atomic
+          [Pbarrier] or the Px86 [Flush_sfence] annotation *)
 }
 
 type layout = {
@@ -80,7 +88,14 @@ val default_params : params
 (** 2 threads x 64 ops, a get every 4th op, 24 keys over 8 groups of 8
     slots (37% load), seeded random scheduling, epoch discipline. *)
 
-val explore_params : ?threads:int -> ?depth:int -> discipline -> params
+val explore_params :
+  ?threads:int ->
+  ?depth:int ->
+  ?machine:Memsim.Machine.model ->
+  ?persistence:Memsim.Machine.persistence ->
+  ?barrier:Memsim.Machine.barrier_impl ->
+  discipline ->
+  params
 (** An instance sized for systematic exploration ({!Check}): [threads]
     (default 2) threads of [depth] (default 2) puts over 2 keys hashed
     into a {e single} bucket group — maximal lock and slot contention,

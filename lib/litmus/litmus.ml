@@ -13,6 +13,7 @@ type instr =
   | Sfence
   | Mfence
   | Pbarrier
+  | Rmwi of string
 
 type obs =
   | Reg of int * string
@@ -32,6 +33,7 @@ type test = {
   observe : obs list;
   sc : expect;
   tso : expect;
+  tso_buf : expect option;
 }
 
 let obs_label = function
@@ -78,14 +80,65 @@ let validate t =
     (fun o ->
       if not (List.mem o t.tso.allowed) then
         invalid_arg (t.name ^ ": SC-allowed outcome missing under TSO: " ^ o))
-    t.sc.allowed
+    t.sc.allowed;
+  (* Synchronous executions are buffered executions with eager drains:
+     anything TSO-sync allows, TSO-buffered must allow. *)
+  match t.tso_buf with
+  | None -> ()
+  | Some b ->
+    List.iter
+      (fun o ->
+        if List.mem o b.allowed then
+          invalid_arg
+            (t.name ^ ": TSO-buffered forbidden outcome also allowed: " ^ o))
+      b.forbidden;
+    List.iter
+      (fun o ->
+        if not (List.mem o b.allowed) then
+          invalid_arg
+            (t.name ^ ": TSO-allowed outcome missing under TSO-buffered: " ^ o))
+      t.tso.allowed
 
 (* ------------------------------------------------------------------ *)
 (* Running one interleaving                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* A machine configuration pairs the consistency model with the Px86
+   persistence semantics; the engine is configured to match. *)
+type mconfig = {
+  model : M.model;
+  persistence : M.persistence;
+}
+
+let sc_config = { model = M.Sc; persistence = M.Psync }
+let tso_sync_config = { model = M.Tso; persistence = M.Psync }
+let tso_buffered_config = { model = M.Tso; persistence = M.Pbuffered }
+let all_configs = [ sc_config; tso_sync_config; tso_buffered_config ]
+
+let config_name c =
+  match c.model, c.persistence with
+  | M.Sc, M.Psync -> "sc"
+  | M.Sc, M.Pbuffered -> "sc-buffered"
+  | M.Tso, M.Psync -> "tso-sync"
+  | M.Tso, M.Pbuffered -> "tso-buffered"
+
+let config_of_name = function
+  | "sc" -> Some sc_config
+  | "tso" | "tso-sync" -> Some tso_sync_config
+  | "tso-buffered" -> Some tso_buffered_config
+  | _ -> None
+
 let default_cfg =
   P.Config.make ~coalescing:false ~record_graph:true P.Config.Epoch
+
+let buffered_cfg =
+  P.Config.make ~coalescing:false ~record_graph:true
+    ~px86:P.Config.Px86_buffered P.Config.Epoch
+
+let engine_cfg c =
+  match c.persistence with
+  | M.Psync -> default_cfg
+  | M.Pbuffered -> buffered_cfg
 
 let exec_thread regs vaddr tid instrs () =
   List.iter
@@ -99,15 +152,20 @@ let exec_thread regs vaddr tid instrs () =
       | Clwb v -> M.clwb (vaddr v)
       | Sfence -> M.sfence ()
       | Mfence -> M.mfence ()
-      | Pbarrier -> M.persist_barrier ())
+      | Pbarrier -> M.persist_barrier ()
+      | Rmwi v -> ignore (M.fetch_add (vaddr v) 1L))
     instrs
 
 (* Execute [t] under one schedule and return every outcome string the
    schedule can justify: one per legal crash state when the test
    observes persisted values, else exactly one. *)
-let run_one ?(cfg = default_cfg) ?(verify = false) ~model t policy =
+let run_one ?cfg ?(verify = false) ~config t policy =
+  let cfg = match cfg with Some c -> c | None -> engine_cfg config in
   let memory = Memsim.Memory.create ~persistent_capacity:1024 () in
-  let machine = M.create ~policy ~model ~memory () in
+  let machine =
+    M.create ~policy ~model:config.model ~persistence:config.persistence
+      ~memory ()
+  in
   let engine = P.Engine.create cfg in
   let trace = if verify then Some (Memsim.Trace.create ()) else None in
   (match trace with
@@ -176,11 +234,16 @@ type method_ = Brute | Dpor
 
 let method_name = function Brute -> "brute" | Dpor -> "dpor"
 let model_name = function M.Sc -> "sc" | M.Tso -> "tso"
-let expect_for t = function M.Sc -> t.sc | M.Tso -> t.tso
+
+let expect_for t c =
+  match c.model, c.persistence with
+  | M.Sc, _ -> t.sc
+  | M.Tso, M.Psync -> t.tso
+  | M.Tso, M.Pbuffered -> ( match t.tso_buf with Some e -> e | None -> t.tso)
 
 type result = {
   test : test;
-  model : M.model;
+  config : mconfig;
   how : method_;
   observed : string list;  (* sorted *)
   missing : string list;  (* allowed but never observed *)
@@ -193,11 +256,13 @@ type result = {
 let pass r =
   r.complete && r.missing = [] && r.unexpected = [] && r.forbidden_hit = []
 
-let check ?cfg ?(verify = false) ?(how = Brute) ?(limit = 200_000) ~model t =
+let check ?cfg ?(verify = false) ?(how = Brute) ?(limit = 200_000) ~config t =
   validate t;
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   let record policy =
-    List.iter (fun o -> Hashtbl.replace seen o ()) (run_one ?cfg ~verify ~model t policy)
+    List.iter
+      (fun o -> Hashtbl.replace seen o ())
+      (run_one ?cfg ~verify ~config t policy)
   in
   let schedules, complete =
     match how with
@@ -212,10 +277,10 @@ let check ?cfg ?(verify = false) ?(how = Brute) ?(limit = 200_000) ~model t =
       in
       (s.Check.Dpor.schedules, s.Check.Dpor.complete)
   in
-  let expect = expect_for t model in
+  let expect = expect_for t config in
   let observed = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []) in
   { test = t;
-    model;
+    config;
     how;
     observed;
     missing = List.filter (fun o -> not (Hashtbl.mem seen o)) expect.allowed;
@@ -245,7 +310,8 @@ let sb =
     threads = [ [ St ("x", 1); Ld ("y", "r0") ]; [ St ("y", 1); Ld ("x", "r1") ] ];
     observe = obs;
     sc = { allowed = minus all [ weak ]; forbidden = [ weak ] };
-    tso = { allowed = all; forbidden = [] } }
+    tso = { allowed = all; forbidden = [] };
+    tso_buf = None }
 
 let sb_mfence =
   let all = outcomes [ (r0, [ 0; 1 ]); (r1, [ 0; 1 ]) ] in
@@ -258,7 +324,8 @@ let sb_mfence =
         [ St ("y", 1); Mfence; Ld ("x", "r1") ] ];
     observe = [ Reg (0, "r0"); Reg (1, "r1") ];
     sc = { allowed = minus all [ weak ]; forbidden = [ weak ] };
-    tso = { allowed = minus all [ weak ]; forbidden = [ weak ] } }
+    tso = { allowed = minus all [ weak ]; forbidden = [ weak ] };
+    tso_buf = None }
 
 let sb_rfi =
   (* store forwarding: each thread re-reads its own store (always sees
@@ -282,7 +349,8 @@ let sb_rfi =
       { allowed = sc_allowed @ [ weak ];
         forbidden =
           [ (* forwarding can never miss the thread's own store *)
-            one [ (r0, 0); (r1_0, 0); (r0_1, 1); (r1, 0) ] ] } }
+            one [ (r0, 0); (r1_0, 0); (r0_1, 1); (r1, 0) ] ] };
+    tso_buf = None }
 
 let n6 =
   (* Paul Loewenstein's n6: forwarding lets t0 read its own x=1 while
@@ -305,7 +373,8 @@ let n6 =
     sc = { allowed = sc_allowed; forbidden = [ weak ] };
     tso =
       { allowed = sc_allowed @ [ weak ];
-        forbidden = [ one [ (r0, 2); (r1_0, 0); (Final "x", 2) ] ] } }
+        forbidden = [ one [ (r0, 2); (r1_0, 0); (Final "x", 2) ] ] };
+    tso_buf = None }
 
 let mp =
   let all = outcomes [ (r0_1, [ 0; 1 ]); (r1, [ 0; 1 ]) ] in
@@ -317,7 +386,8 @@ let mp =
       [ [ St ("x", 1); St ("y", 1) ]; [ Ld ("y", "r0"); Ld ("x", "r1") ] ];
     observe = [ r0_1; r1 ];
     sc = { allowed = minus all [ weak ]; forbidden = [ weak ] };
-    tso = { allowed = minus all [ weak ]; forbidden = [ weak ] } }
+    tso = { allowed = minus all [ weak ]; forbidden = [ weak ] };
+    tso_buf = None }
 
 let lb =
   let all = outcomes [ (r0, [ 0; 1 ]); (r0_1, [ 0; 1 ]) ] in
@@ -329,7 +399,8 @@ let lb =
       [ [ Ld ("y", "r0"); St ("x", 1) ]; [ Ld ("x", "r0"); St ("y", 1) ] ];
     observe = [ r0; r0_1 ];
     sc = { allowed = minus all [ weak ]; forbidden = [ weak ] };
-    tso = { allowed = minus all [ weak ]; forbidden = [ weak ] } }
+    tso = { allowed = minus all [ weak ]; forbidden = [ weak ] };
+    tso_buf = None }
 
 let w2plus2 =
   let fx = Final "x" and fy = Final "y" in
@@ -344,7 +415,8 @@ let w2plus2 =
       [ [ St ("x", 1); St ("y", 2) ]; [ St ("y", 1); St ("x", 2) ] ];
     observe = [ fx; fy ];
     sc = { allowed; forbidden = [ weak ] };
-    tso = { allowed; forbidden = [ weak ] } }
+    tso = { allowed; forbidden = [ weak ] };
+    tso_buf = None }
 
 let corr =
   let allowed =
@@ -362,7 +434,8 @@ let corr =
       [ [ St ("x", 1); St ("x", 2) ]; [ Ld ("x", "r0"); Ld ("x", "r1") ] ];
     observe = [ r0_1; r1 ];
     sc = { allowed; forbidden = [ one [ (r0_1, 2); (r1, 1) ] ] };
-    tso = { allowed; forbidden = [ one [ (r0_1, 2); (r1, 1) ] ] } }
+    tso = { allowed; forbidden = [ one [ (r0_1, 2); (r1, 1) ] ] };
+    tso_buf = None }
 
 (* --- persist-order shapes (epoch engine, coalescing off) ----------- *)
 
@@ -381,7 +454,8 @@ let persist_unordered =
     threads = [ [ St ("x", 1); St ("y", 1) ] ];
     observe = [ px; py ];
     sc = { allowed = all_persist; forbidden = [] };
-    tso = { allowed = all_persist; forbidden = [] } }
+    tso = { allowed = all_persist; forbidden = [] };
+    tso_buf = None }
 
 let flush_sfence =
   { name = "flush+sfence";
@@ -390,7 +464,11 @@ let flush_sfence =
     threads = [ [ St ("x", 1); Flush "x"; Sfence; St ("y", 1) ] ];
     observe = [ px; py ];
     sc = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] };
-    tso = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] } }
+    tso = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] };
+    tso_buf =
+      Some
+        { allowed = persist_ordered;
+          forbidden = [ one [ (px, 0); (py, 1) ] ] } }
 
 let flush_no_sfence =
   { name = "flush-no-sfence";
@@ -399,7 +477,8 @@ let flush_no_sfence =
     threads = [ [ St ("x", 1); Flush "x"; St ("y", 1) ] ];
     observe = [ px; py ];
     sc = { allowed = all_persist; forbidden = [] };
-    tso = { allowed = all_persist; forbidden = [] } }
+    tso = { allowed = all_persist; forbidden = [] };
+    tso_buf = None }
 
 let clwb_sfence =
   { name = "clwb+sfence";
@@ -408,7 +487,8 @@ let clwb_sfence =
     threads = [ [ St ("x", 1); Clwb "x"; Sfence; St ("y", 1) ] ];
     observe = [ px; py ];
     sc = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] };
-    tso = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] } }
+    tso = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] };
+    tso_buf = None }
 
 let sfence_no_flush =
   { name = "sfence-no-flush";
@@ -417,7 +497,8 @@ let sfence_no_flush =
     threads = [ [ St ("x", 1); Sfence; St ("y", 1) ] ];
     observe = [ px; py ];
     sc = { allowed = all_persist; forbidden = [] };
-    tso = { allowed = all_persist; forbidden = [] } }
+    tso = { allowed = all_persist; forbidden = [] };
+    tso_buf = None }
 
 let pbarrier_order =
   { name = "pbarrier-order";
@@ -426,7 +507,8 @@ let pbarrier_order =
     threads = [ [ St ("x", 1); Pbarrier; St ("y", 1) ] ];
     observe = [ px; py ];
     sc = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] };
-    tso = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] } }
+    tso = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] };
+    tso_buf = None }
 
 let coherence_persist =
   { name = "coherence-persist";
@@ -439,7 +521,8 @@ let coherence_persist =
         forbidden = [] };
     tso =
       { allowed = [ one [ (px, 0) ]; one [ (px, 1) ]; one [ (px, 2) ] ];
-        forbidden = [] } }
+        forbidden = [] };
+    tso_buf = None }
 
 let cross_thread_flush =
   (* t1 flushes a line t0 wrote; having read x=1, its flush+sfence
@@ -456,7 +539,8 @@ let cross_thread_flush =
         [ Ld ("x", "r0"); Flush "x"; Sfence; St ("y", 1) ] ];
     observe = [ r0_1; px; py ];
     sc = { allowed; forbidden = [ weak ] };
-    tso = { allowed; forbidden = [ weak ] } }
+    tso = { allowed; forbidden = [ weak ] };
+    tso_buf = None }
 
 let mp_flush_sfence =
   (* durable message passing: writer flushes the payload before
@@ -487,7 +571,163 @@ let mp_flush_sfence =
       { allowed;
         forbidden =
           [ one [ (r0_1, 1); (r1, 0); (px, 1); (py, 1) ];
-            one [ (r0_1, 0); (r1, 0); (px, 0); (py, 1) ] ] } }
+            one [ (r0_1, 0); (r1, 0); (px, 0); (py, 1) ] ] };
+    tso_buf = None }
+
+(* --- buffered-persistency shapes (Px86 persistence buffer) --------- *)
+
+(* The observable difference between synchronous and buffered Px86
+   lives in cross-thread crash outcomes mediated by volatile message
+   passing: under the synchronous reading, flush+sfence makes the line
+   durable before anything the fencing thread publishes afterwards;
+   under the buffered reading the line may still sit in the persistence
+   buffer when another thread acts on the published value, so that
+   thread's persists can reach NVRAM first. *)
+
+let flush_captures_at_flush =
+  let allowed =
+    [ one [ (px, 0); (py, 0) ];
+      one [ (px, 1); (py, 0) ];
+      one [ (px, 2); (py, 0) ];
+      one [ (px, 1); (py, 1) ];
+      one [ (px, 2); (py, 1) ] ]
+  in
+  let forbidden = [ one [ (px, 0); (py, 1) ] ] in
+  { name = "flush-captures-at-flush";
+    doc = "clflushopt captures the line at flush time: a later same-line \
+           store is not covered by the fence";
+    vars = [ "x"; "y" ];
+    threads = [ [ St ("x", 1); Flush "x"; St ("x", 2); Sfence; St ("y", 1) ] ];
+    observe = [ px; py ];
+    sc = { allowed; forbidden };
+    tso = { allowed; forbidden };
+    (* same-thread ordering: the fence is a buffer *frontier*, so the
+       flush-before-fence-before-persist chain survives asynchronous
+       drains — the buffered sets are exactly the synchronous ones *)
+    tso_buf = Some { allowed; forbidden } }
+
+let sfence_frontier =
+  (* under the buffered machine the sfence also pins the drain order:
+     x's buffer entry is in an older fence epoch than y's, so it can
+     never drain after it (outcome-invisible here, but exercised by the
+     scheduler; the persist ordering is the fence-commit dependence) *)
+  let allowed =
+    [ one [ (px, 0); (py, 0) ]; one [ (px, 1); (py, 0) ];
+      one [ (px, 1); (py, 1) ] ]
+  in
+  let forbidden = [ one [ (px, 0); (py, 1) ] ] in
+  { name = "sfence-frontier";
+    doc = "the fence is a persistence-buffer frontier: flushes before it \
+           drain before flushes after it";
+    vars = [ "x"; "y" ];
+    threads = [ [ St ("x", 1); Flush "x"; Sfence; St ("y", 1); Flush "y" ] ];
+    observe = [ px; py ];
+    sc = { allowed; forbidden };
+    tso = { allowed; forbidden };
+    (* same-thread ordering: the fence is a buffer *frontier*, so the
+       flush-before-fence-before-persist chain survives asynchronous
+       drains — the buffered sets are exactly the synchronous ones *)
+    tso_buf = Some { allowed; forbidden } }
+
+let same_line_flush_fifo =
+  let allowed =
+    [ one [ (px, 0); (py, 0) ]; one [ (px, 1); (py, 0) ];
+      one [ (px, 2); (py, 0) ]; one [ (px, 2); (py, 1) ] ]
+  in
+  let forbidden = [ one [ (px, 0); (py, 1) ]; one [ (px, 1); (py, 1) ] ] in
+  { name = "same-line-flush-fifo";
+    doc = "two flushes of one line queue in FIFO order; the fence covers \
+           both captures";
+    vars = [ "x"; "y" ];
+    threads =
+      [ [ St ("x", 1); Flush "x"; St ("x", 2); Flush "x"; Sfence;
+          St ("y", 1) ] ];
+    observe = [ px; py ];
+    sc = { allowed; forbidden };
+    tso = { allowed; forbidden };
+    (* same-thread ordering: the fence is a buffer *frontier*, so the
+       flush-before-fence-before-persist chain survives asynchronous
+       drains — the buffered sets are exactly the synchronous ones *)
+    tso_buf = Some { allowed; forbidden } }
+
+let cross_thread_flush_async =
+  let weak = one [ (r0_1, 1); (px, 0); (py, 1) ] in
+  let all = outcomes [ (r0_1, [ 0; 1 ]); (px, [ 0; 1 ]); (py, [ 0; 1 ]) ] in
+  { name = "cross-thread-flush-async";
+    doc = "flush+sfence, then publish: the reader's persist waits for the \
+           flushed line only under synchronous Px86";
+    vars = [ "x"; "y"; "z" ];
+    threads =
+      [ [ St ("x", 1); Flush "x"; Sfence; St ("z", 1) ];
+        [ Ld ("z", "r0"); St ("y", 1) ] ];
+    observe = [ r0_1; px; py ];
+    sc = { allowed = minus all [ weak ]; forbidden = [ weak ] };
+    tso = { allowed = minus all [ weak ]; forbidden = [ weak ] };
+    tso_buf = Some { allowed = all; forbidden = [] } }
+
+let clwb_async =
+  let weak = one [ (r0_1, 1); (px, 0); (py, 1) ] in
+  let all = outcomes [ (r0_1, [ 0; 1 ]); (px, [ 0; 1 ]); (py, [ 0; 1 ]) ] in
+  { name = "clwb-async";
+    doc = "clwb shows the same sync-vs-buffered split as clflushopt";
+    vars = [ "x"; "y"; "z" ];
+    threads =
+      [ [ St ("x", 1); Clwb "x"; Sfence; St ("z", 1) ];
+        [ Ld ("z", "r0"); St ("y", 1) ] ];
+    observe = [ r0_1; px; py ];
+    sc = { allowed = minus all [ weak ]; forbidden = [ weak ] };
+    tso = { allowed = minus all [ weak ]; forbidden = [ weak ] };
+    tso_buf = Some { allowed = all; forbidden = [] } }
+
+let rmw_fence =
+  let allowed =
+    [ one [ (px, 0); (py, 0) ]; one [ (px, 1); (py, 0) ];
+      one [ (px, 1); (py, 1) ] ]
+  in
+  let forbidden = [ one [ (px, 0); (py, 1) ] ] in
+  { name = "rmw-fence";
+    doc = "a locked RMW commits pending flushes like sfence (contrast \
+           flush-no-sfence, where nothing orders the persist)";
+    vars = [ "x"; "y"; "z" ];
+    threads = [ [ St ("x", 1); Flush "x"; Rmwi "z"; St ("y", 1) ] ];
+    observe = [ px; py ];
+    sc = { allowed; forbidden };
+    tso = { allowed; forbidden };
+    (* same-thread ordering: the fence is a buffer *frontier*, so the
+       flush-before-fence-before-persist chain survives asynchronous
+       drains — the buffered sets are exactly the synchronous ones *)
+    tso_buf = Some { allowed; forbidden } }
+
+let rmw_fence_async =
+  let weak = one [ (r0_1, 1); (px, 0); (py, 1) ] in
+  let all = outcomes [ (r0_1, [ 0; 1 ]); (px, [ 0; 1 ]); (py, [ 0; 1 ]) ] in
+  { name = "rmw-fence-async";
+    doc = "RMW-as-fence publishes the flag itself: synchronous Px86 \
+           drains the flush first, buffered Px86 may not";
+    vars = [ "x"; "y"; "z" ];
+    threads =
+      [ [ St ("x", 1); Flush "x"; Rmwi "z" ];
+        [ Ld ("z", "r0"); St ("y", 1) ] ];
+    observe = [ r0_1; px; py ];
+    sc = { allowed = minus all [ weak ]; forbidden = [ weak ] };
+    tso = { allowed = minus all [ weak ]; forbidden = [ weak ] };
+    tso_buf = Some { allowed = all; forbidden = [] } }
+
+let flush_pbarrier =
+  (* must declare exactly the sets of [flush_sfence]: the paper's epoch
+     barrier subsumes the fence's flush commit on every machine
+     configuration (test_litmus asserts the set equality) *)
+  { name = "flush+pbarrier";
+    doc = "the epoch barrier commits a pending flush exactly like sfence";
+    vars = [ "x"; "y" ];
+    threads = [ [ St ("x", 1); Flush "x"; Pbarrier; St ("y", 1) ] ];
+    observe = [ px; py ];
+    sc = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] };
+    tso = { allowed = persist_ordered; forbidden = [ one [ (px, 0); (py, 1) ] ] };
+    tso_buf =
+      Some
+        { allowed = persist_ordered;
+          forbidden = [ one [ (px, 0); (py, 1) ] ] } }
 
 let suite =
   [ sb;
@@ -506,7 +746,15 @@ let suite =
     pbarrier_order;
     coherence_persist;
     cross_thread_flush;
-    mp_flush_sfence ]
+    mp_flush_sfence;
+    flush_captures_at_flush;
+    sfence_frontier;
+    same_line_flush_fifo;
+    cross_thread_flush_async;
+    clwb_async;
+    rmw_fence;
+    rmw_fence_async;
+    flush_pbarrier ]
 
 let find name = List.find_opt (fun t -> t.name = name) suite
 
@@ -514,3 +762,11 @@ let find name = List.find_opt (fun t -> t.name = name) suite
    witnesses that the machine actually weakens the memory model. *)
 let tso_weaker t =
   List.exists (fun o -> not (List.mem o t.sc.allowed)) t.tso.allowed
+
+(* Tests whose TSO-buffered allowed set strictly contains the TSO-sync
+   one: the witnesses that the persistence buffer actually weakens the
+   persistency model. *)
+let buffered_weaker t =
+  match t.tso_buf with
+  | None -> false
+  | Some b -> List.exists (fun o -> not (List.mem o t.tso.allowed)) b.allowed

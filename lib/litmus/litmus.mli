@@ -1,19 +1,24 @@
 (** Litmus tests: small fixed programs with exhaustively-checked
-    outcome sets, under both machine consistency models
-    ({!Memsim.Machine.model}) and the epoch persistency engine.
+    outcome sets, under the machine configurations
+    (consistency model x Px86 persistence) and the epoch persistency
+    engine.
 
     Each test declares the exact set of allowed outcomes — an outcome
     combines final register values, final memory values, and {e
     persisted} values (the value a variable holds in a legal crash
-    state, via the recovery observer) — separately for SC and TSO.
-    {!check} explores every interleaving (brute-force or DPOR), for TSO
-    including every store-buffer drain interleaving, collects the
-    observed outcome set and compares it against the declaration in
-    both directions: every allowed outcome must be observed, nothing
-    outside the allowed set may appear, and no declared-forbidden
-    outcome may show up.  The classic x86 shapes (SB, MP, LB, 2+2W,
-    CoRR, n6, ...) and Px86 persist-order shapes (clflushopt/clwb +
-    sfence) are in {!suite}. *)
+    state, via the recovery observer) — separately for SC, TSO with
+    synchronous Px86, and (optionally) TSO with the buffered
+    persistence machine.  {!check} explores every interleaving
+    (brute-force or DPOR), for TSO including every store-buffer drain
+    interleaving and for the buffered machine every persistence-buffer
+    drain interleaving, collects the observed outcome set and compares
+    it against the declaration in both directions: every allowed
+    outcome must be observed, nothing outside the allowed set may
+    appear, and no declared-forbidden outcome may show up.  The classic
+    x86 shapes (SB, MP, LB, 2+2W, CoRR, n6, ...), Px86 persist-order
+    shapes (clflushopt/clwb + sfence) and buffered-persistency shapes
+    (asynchronous drains, fence frontiers, RMW-as-fence) are in
+    {!suite}. *)
 
 type instr =
   | St of string * int  (** store constant to variable *)
@@ -23,6 +28,7 @@ type instr =
   | Sfence
   | Mfence
   | Pbarrier  (** the paper's persist barrier *)
+  | Rmwi of string  (** locked fetch-add 1 on the variable *)
 
 type obs =
   | Reg of int * string  (** register [r] of thread [t], shown [t:r] *)
@@ -47,6 +53,10 @@ type test = {
   observe : obs list;  (** outcome rendering order *)
   sc : expect;
   tso : expect;
+  tso_buf : expect option;
+      (** expectation under the TSO + buffered-persistence machine;
+          [None] means identical to [tso] (asynchronous drains change
+          nothing for this shape) *)
 }
 
 val suite : test list
@@ -57,6 +67,11 @@ val find : string -> test option
 val tso_weaker : test -> bool
 (** True when the test's TSO allowed set strictly contains its SC set —
     the witnesses that TSO actually weakens the model. *)
+
+val buffered_weaker : test -> bool
+(** True when the test's TSO-buffered allowed set strictly contains its
+    TSO-sync set — the witnesses that the persistence buffer actually
+    weakens the persistency model. *)
 
 val obs_label : obs -> string
 val one : (obs * int) list -> string
@@ -69,8 +84,10 @@ val minus : string list -> string list -> string list
 
 val validate : test -> unit
 (** @raise Invalid_argument on duplicate variables, overlapping
-    allowed/forbidden sets, or an SC-allowed outcome missing from the
-    TSO allowed set (SC executions are TSO executions). *)
+    allowed/forbidden sets, an SC-allowed outcome missing from the TSO
+    allowed set (SC executions are TSO executions), or a TSO-allowed
+    outcome missing from the TSO-buffered allowed set (synchronous
+    executions are buffered executions with eager drains). *)
 
 val exec_thread :
   (int * string, int) Hashtbl.t ->
@@ -84,14 +101,40 @@ val exec_thread :
     operation, loads landing in [regs] under key [(tid, reg)].  Exposed
     so generated programs (fuzzing) can reuse the interpreter. *)
 
+(** A machine configuration: consistency model paired with the Px86
+    persistence semantics.  {!check} configures the persistency engine
+    to match ({!Persistency.Config.px86}). *)
+type mconfig = {
+  model : Memsim.Machine.model;
+  persistence : Memsim.Machine.persistence;
+}
+
+val sc_config : mconfig
+val tso_sync_config : mconfig
+val tso_buffered_config : mconfig
+
+val all_configs : mconfig list
+(** [sc], [tso-sync], [tso-buffered] — the matrix the litmus corpus is
+    checked under. *)
+
+val config_name : mconfig -> string
+val config_of_name : string -> mconfig option
+(** Accepts ["sc"], ["tso"] (alias for tso-sync), ["tso-sync"],
+    ["tso-buffered"]. *)
+
 val default_cfg : Persistency.Config.t
 (** Epoch mode, 8-byte granularities, coalescing off, graph recording
-    on — the engine configuration used to judge persisted values. *)
+    on — the engine configuration used to judge persisted values under
+    synchronous Px86. *)
+
+val buffered_cfg : Persistency.Config.t
+(** [default_cfg] with [px86 = Px86_buffered] — paired with the
+    buffered-persistence machine. *)
 
 val run_one :
   ?cfg:Persistency.Config.t ->
   ?verify:bool ->
-  model:Memsim.Machine.model ->
+  config:mconfig ->
   test ->
   Memsim.Machine.policy ->
   string list
@@ -108,7 +151,7 @@ val model_name : Memsim.Machine.model -> string
 
 type result = {
   test : test;
-  model : Memsim.Machine.model;
+  config : mconfig;
   how : method_;
   observed : string list;  (** sorted observed outcome set *)
   missing : string list;  (** declared allowed, never observed *)
@@ -126,9 +169,9 @@ val check :
   ?verify:bool ->
   ?how:method_ ->
   ?limit:int ->
-  model:Memsim.Machine.model ->
+  config:mconfig ->
   test ->
   result
-(** Exhaustively explore the test under [model] (default [how] is
+(** Exhaustively explore the test under [config] (default [how] is
     [Brute], default [limit] 200_000 executions) and judge the observed
-    outcome set against the test's expectation for that model. *)
+    outcome set against the test's expectation for that configuration. *)

@@ -19,6 +19,7 @@ type params = {
   seed : int;
   policy : M.policy;
   machine : M.model;
+  persistence : M.persistence;
 }
 
 let default_params =
@@ -28,16 +29,19 @@ let default_params =
     key_space = 1024;
     seed = 42;
     policy = M.Round_robin;
-    machine = M.Sc }
+    machine = M.Sc;
+    persistence = M.Psync }
 
-let explore_params ?(threads = 2) ?(depth = 2) ?(machine = M.Sc) discipline =
+let explore_params ?(threads = 2) ?(depth = 2) ?(machine = M.Sc)
+    ?(persistence = M.Psync) discipline =
   { discipline;
     threads;
     inserts_per_thread = depth;
     key_space = 2 * threads * depth;
     seed = 1;
     policy = M.Round_robin;
-    machine }
+    machine;
+    persistence }
 
 let discipline_name = function
   | Flush_all -> "flush-all"
@@ -51,10 +55,11 @@ let discipline_of_string = function
   | s -> Error (Printf.sprintf "unknown lockfree discipline %S" s)
 
 let pp_params ppf p =
-  Format.fprintf ppf "cas-set/%s threads=%d inserts=%d keys=%d%s"
+  Format.fprintf ppf "cas-set/%s threads=%d inserts=%d keys=%d%s%s"
     (discipline_name p.discipline)
     p.threads p.inserts_per_thread p.key_space
     (match p.machine with M.Sc -> "" | M.Tso -> " machine=tso")
+    (match p.persistence with M.Psync -> "" | M.Pbuffered -> " persist=buffered")
 
 let validate p =
   if p.threads < 1 then invalid_arg "Cas_set: threads must be >= 1";
@@ -184,7 +189,10 @@ let run p ~sink =
       ~volatile_capacity:(4096 + (32 * p.threads))
       ()
   in
-  let machine = M.create ~policy:p.policy ~model:p.machine ~memory () in
+  let machine =
+    M.create ~policy:p.policy ~model:p.machine ~persistence:p.persistence
+      ~memory ()
+  in
   M.set_sink machine sink;
   let head_addr = Memsim.Memory.alloc memory Memsim.Addr.Persistent 8 in
   let nodes_addr = Memsim.Memory.alloc memory Memsim.Addr.Persistent pool_bytes in

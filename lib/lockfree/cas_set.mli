@@ -43,6 +43,10 @@ type params = {
   seed : int;
   policy : Memsim.Machine.policy;
   machine : Memsim.Machine.model;
+  persistence : Memsim.Machine.persistence;
+      (** [Pbuffered] puts every clflushopt behind the asynchronous
+          persistence buffer, so a crash can cut the flush-to-NVRAM
+          window that [Psync] closes at the next fence. *)
 }
 
 type layout = {
@@ -64,6 +68,7 @@ val explore_params :
   ?threads:int ->
   ?depth:int ->
   ?machine:Memsim.Machine.model ->
+  ?persistence:Memsim.Machine.persistence ->
   discipline ->
   params
 (** Small fixed shape for systematic exploration (2 threads x [depth]

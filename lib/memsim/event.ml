@@ -26,16 +26,17 @@ type t =
   | Label of int * string
   | Flush of { tid : int; kind : flush_kind; addr : int }
   | Fence of { tid : int; kind : fence_kind }
+  | Pdrain of { tid : int; kind : flush_kind; addr : int }
 
 let tid = function
   | Access (_, a) -> a.tid
   | Persist_barrier tid | New_strand tid | Label (tid, _) -> tid
-  | Flush { tid; _ } | Fence { tid; _ } -> tid
+  | Flush { tid; _ } | Fence { tid; _ } | Pdrain { tid; _ } -> tid
 
 let is_persist = function
   | Access ((Store | Rmw), a) -> Addr.equal_space a.space Addr.Persistent
   | Access (Load, _) | Persist_barrier _ | New_strand _ | Label _ | Flush _
-  | Fence _ ->
+  | Fence _ | Pdrain _ ->
     false
 
 let equal_kind a b =
@@ -66,8 +67,11 @@ let equal a b =
   | Flush f1, Flush f2 ->
     f1.tid = f2.tid && equal_flush_kind f1.kind f2.kind && f1.addr = f2.addr
   | Fence f1, Fence f2 -> f1.tid = f2.tid && equal_fence_kind f1.kind f2.kind
-  | (Access _ | Persist_barrier _ | New_strand _ | Label _ | Flush _ | Fence _),
-    _ ->
+  | Pdrain d1, Pdrain d2 ->
+    d1.tid = d2.tid && equal_flush_kind d1.kind d2.kind && d1.addr = d2.addr
+  | ( ( Access _ | Persist_barrier _ | New_strand _ | Label _ | Flush _
+      | Fence _ | Pdrain _ ),
+      _ ) ->
     false
 
 let kind_name = function
@@ -99,6 +103,8 @@ let pp ppf = function
   | Flush { tid; kind; addr } ->
     Format.fprintf ppf "t%d %s %a" tid (flush_name kind) Addr.pp addr
   | Fence { tid; kind } -> Format.fprintf ppf "t%d %s" tid (fence_name kind)
+  | Pdrain { tid; kind; addr } ->
+    Format.fprintf ppf "t%d pdrain(%s) %a" tid (flush_name kind) Addr.pp addr
 
 let to_string = function
   | Access (k, a) ->
@@ -109,6 +115,8 @@ let to_string = function
   | Flush { tid; kind; addr } ->
     Printf.sprintf "fl %s %d %d" (flush_name kind) tid addr
   | Fence { tid; kind } -> Printf.sprintf "fe %s %d" (fence_name kind) tid
+  | Pdrain { tid; kind; addr } ->
+    Printf.sprintf "pd %s %d %d" (flush_name kind) tid addr
 
 let of_string line =
   match String.split_on_char ' ' line with
@@ -133,6 +141,14 @@ let of_string line =
       | s -> failwith ("Event.of_string: bad flush kind: " ^ s)
     in
     Flush { tid = int_of_string tid; kind; addr = int_of_string addr }
+  | [ "pd"; kind; tid; addr ] ->
+    let kind =
+      match kind with
+      | "clflushopt" -> Clflushopt
+      | "clwb" -> Clwb
+      | s -> failwith ("Event.of_string: bad flush kind: " ^ s)
+    in
+    Pdrain { tid = int_of_string tid; kind; addr = int_of_string addr }
   | [ "fe"; kind; tid ] ->
     let kind =
       match kind with

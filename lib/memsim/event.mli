@@ -45,6 +45,13 @@ type t =
   | Fence of { tid : int; kind : fence_kind }
       (** [sfence]/[mfence]: orders earlier flushes (and, on a TSO
           machine, drains the store buffer) before later accesses *)
+  | Pdrain of { tid : int; kind : flush_kind; addr : int }
+      (** a buffered machine's persistence buffer drained the entry the
+          [Flush] with the same [tid]/[kind]/[addr] enqueued: the
+          captured line contents reach NVRAM {e now}.  [tid] is the
+          flushing thread; the scheduling decision itself runs under a
+          persist pseudo-tid.  Only emitted by machines created with
+          [~persistence:Pbuffered]. *)
 
 val tid : t -> int
 val is_persist : t -> bool

@@ -12,6 +12,13 @@ let m_occupancy =
   Om.histogram Om.default ~buckets:(Om.pow2_buckets 7)
     "machine.store_buffer_occupancy"
 
+let m_pb_enqueues = Om.counter Om.default "machine.persist_buffer_enqueues"
+let m_pb_drains = Om.counter Om.default "machine.persist_buffer_drains"
+
+let m_pb_occupancy =
+  Om.histogram Om.default ~buckets:(Om.pow2_buckets 7)
+    "machine.persist_buffer_occupancy"
+
 type script = {
   mutable forced : int list;
   mutable log : (int * int) list;  (* reversed (choice, runnable count) *)
@@ -47,14 +54,29 @@ type model =
   | Sc
   | Tso
 
+type persistence =
+  | Psync
+  | Pbuffered
+
+type barrier_impl =
+  | Pbarrier
+  | Flush_sfence
+
 (* Buffer-drain steps are scheduling decisions attributed to a
    pseudo-thread derived from the buffering thread's id, so guides
    (DPOR) can distinguish "thread t runs its next operation" from
-   "thread t's store buffer drains one entry". *)
+   "thread t's store buffer drains one entry".  Persistence-buffer
+   drains get their own pseudo-tid range, derived from the drained
+   line (per-line FIFO ordering means at most one entry per line is
+   ever eligible, so the tid is unique within an enabled set and
+   stable across exploration branches). *)
 let drain_tid_base = 1 lsl 16
+let persist_tid_base = 1 lsl 17
 let drain_tid tid = drain_tid_base + tid
-let is_drain_tid tid = tid >= drain_tid_base
+let is_drain_tid tid = tid >= drain_tid_base && tid < persist_tid_base
 let drain_parent tid = tid - drain_tid_base
+let persist_tid addr = persist_tid_base + (addr asr 3)
+let is_persist_tid tid = tid >= persist_tid_base
 
 exception Deadlock of int list
 
@@ -110,6 +132,21 @@ type buffer = {
   bytes : (int, int * int) Hashtbl.t;  (* byte addr -> (value, count) *)
 }
 
+(* One pending entry of the (global) persistence buffer: a line whose
+   contents were captured by a flush but have not yet reached NVRAM.
+   [pb_epoch] is the flushing thread's fence epoch at capture time:
+   entries of an earlier epoch of the same thread must drain first
+   (sfence/mfence/locked RMWs only *order* the buffer, they never
+   force a drain).  [pb_seq] is a global enqueue stamp giving same-line
+   entries their FIFO order. *)
+type pb_entry = {
+  pb_tid : int;
+  pb_kind : Event.flush_kind;
+  pb_addr : int;
+  pb_epoch : int;
+  pb_seq : int;
+}
+
 type runq =
   | Fifo of entry Queue.t
   | Bag of entry Vec.t * Random.State.t
@@ -120,7 +157,23 @@ type t = {
   mem : Memory.t;
   runq : runq;
   model : model;
+  persistence : persistence;
+  barrier : barrier_impl;
   buffers : (int, buffer) Hashtbl.t;  (* tid -> store buffer (TSO) *)
+  pbuf : pb_entry Vec.t;  (* persistence buffer (Pbuffered only) *)
+  pepoch : (int, int) Hashtbl.t;  (* tid -> current fence epoch *)
+  mutable pseq : int;
+  dirty : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* tid -> dirty persistent lines since its last barrier
+         (Flush_sfence only) *)
+  unfenced : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* tid -> lines flushed since its last fence-like commit point
+         (sfence/mfence/persist barrier/locked RMW).  Under synchronous
+         Px86 that commit makes exactly these lines durable, so the
+         committing step must look like a write to them to systematic
+         exploration — line-precise, because widening to the whole
+         persistent space makes every fence conflict with every
+         persistent access and blows up DPOR on flush-heavy programs. *)
   mutable sink : Event.t -> unit;
   mutable next_tid : int;
   mutable events : int;
@@ -129,7 +182,8 @@ type t = {
                                       step, newest first (Guided only) *)
 }
 
-let create ?(policy = Round_robin) ?(model = Sc) ~memory () =
+let create ?(policy = Round_robin) ?(model = Sc) ?(persistence = Psync)
+    ?(barrier = Pbarrier) ~memory () =
   let runq =
     match policy with
     | Round_robin -> Fifo (Queue.create ())
@@ -140,7 +194,14 @@ let create ?(policy = Round_robin) ?(model = Sc) ~memory () =
   { mem = memory;
     runq;
     model;
+    persistence;
+    barrier;
     buffers = Hashtbl.create 8;
+    pbuf = Vec.create ();
+    pepoch = Hashtbl.create 8;
+    pseq = 0;
+    dirty = Hashtbl.create 8;
+    unfenced = Hashtbl.create 8;
     sink = ignore;
     next_tid = 0;
     events = 0;
@@ -149,6 +210,7 @@ let create ?(policy = Round_robin) ?(model = Sc) ~memory () =
 
 let memory t = t.mem
 let model t = t.model
+let persistence t = t.persistence
 let set_sink t sink = t.sink <- sink
 let event_count t = t.events
 
@@ -177,6 +239,18 @@ let emit t ev =
        (* a flush reads the line's contents: it conflicts with stores to
           the line but not with loads or other flushes *)
        t.step_log <- { addr; size = 8; write = false } :: t.step_log
+     | Event.Pdrain _ ->
+       (* a persistence-buffer drain moves the durable frontier, which
+          only later persist-node creations (persistent stores) observe
+          through their order edges: a whole-persistent-space read
+          conflicts with exactly those stores.  Drain-vs-drain and
+          drain-vs-load orders are immaterial — the frontier union is
+          commutative, same-line drains are FIFO by construction, and
+          loads read cache contents, never durability — so marking the
+          drain a whole-space *write* would only send DPOR chasing
+          unreversible or unobservable races *)
+       t.step_log <-
+         { addr = 0; size = Addr.volatile_base; write = false } :: t.step_log
      | Event.Persist_barrier _ | Event.New_strand _ | Event.Label _
      | Event.Fence _ ->
        ());
@@ -203,7 +277,35 @@ let buffer_nonempty t tid =
   | Some b -> not (Queue.is_empty b.fifo)
   | None -> false
 
+(* Dirty persistent-line tracking for the Flush_sfence barrier
+   expansion: every persistent store remembers its lines, and the
+   thread's next persist_barrier flushes exactly those. *)
+
+let note_dirty t tid ~addr ~size =
+  if t.barrier = Flush_sfence && Addr.space_of addr = Addr.Persistent then begin
+    let lines =
+      match Hashtbl.find_opt t.dirty tid with
+      | Some h -> h
+      | None ->
+        let h = Hashtbl.create 16 in
+        Hashtbl.add t.dirty tid h;
+        h
+    in
+    for line = addr asr 3 to (addr + size - 1) asr 3 do
+      Hashtbl.replace lines (line lsl 3) ()
+    done
+  end
+
+let take_dirty t tid =
+  match Hashtbl.find_opt t.dirty tid with
+  | None -> []
+  | Some h ->
+    let lines = Hashtbl.fold (fun a () acc -> a :: acc) h [] in
+    Hashtbl.reset h;
+    List.sort compare lines
+
 let push_store t tid ~addr ~size ~value =
+  note_dirty t tid ~addr ~size;
   let buf = buffer t tid in
   Queue.push (Sb_store { addr; size; value; space = Addr.space_of addr })
     buf.fifo;
@@ -220,10 +322,125 @@ let push_store t tid ~addr ~size ~value =
   done;
   Om.observe m_occupancy (float_of_int (Queue.length buf.fifo))
 
+let mark_unfenced t tid ~addr =
+  let lines =
+    match Hashtbl.find_opt t.unfenced tid with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 8 in
+      Hashtbl.add t.unfenced tid h;
+      h
+  in
+  Hashtbl.replace lines (addr land lnot 7) ()
+
 let push_flush t tid ~kind ~addr =
+  mark_unfenced t tid ~addr;
   let buf = buffer t tid in
   Queue.push (Sb_flush { kind; addr }) buf.fifo;
   Om.observe m_occupancy (float_of_int (Queue.length buf.fifo))
+
+(* Synchronous-Px86 flush commit (see [unfenced]).  The commit moves
+   the durable frontier: every persist node created after it — i.e.
+   every later persistent *store*, whose order edges are computed
+   against the frontier — is ordered after the committed lines, so the
+   committing step must race with other threads' persistent stores for
+   DPOR to explore both orders (store-before-commit admits a crash
+   with the store durable and the flushed line not; store-after-commit
+   forbids it).  Loads and flush captures read cache contents and
+   never observe durability, so a whole-persistent-space *read* is the
+   exact footprint: it conflicts with writes and nothing else.
+   (Widening the commit to a whole-space write makes every fence
+   conflict with every traversal load and blows up DPOR on flush-heavy
+   programs.) *)
+let frontier_read = { addr = 0; size = Addr.volatile_base; write = false }
+
+let pending_commit t tid =
+  t.persistence = Psync
+  &&
+  match Hashtbl.find_opt t.unfenced tid with
+  | Some lines -> Hashtbl.length lines > 0
+  | None -> false
+
+let note_commit t tid =
+  if pending_commit t tid then begin
+    Hashtbl.reset (Hashtbl.find t.unfenced tid);
+    note_access t frontier_read
+  end
+
+let commit_footprint t tid fp =
+  if not (pending_commit t tid) then fp
+  else
+    Some
+      (match fp with
+      | None -> frontier_read
+      | Some f ->
+        (* static over-approximation: union the op's own footprint with
+           the frontier read (sleep-set filter only — may wake sleepers
+           spuriously, never misses a race) *)
+        let hi = max (f.addr + f.size) Addr.volatile_base in
+        { addr = 0; size = hi; write = f.write })
+
+(* Persistence buffer (Pbuffered).  A flush *captures* the line at the
+   point its Flush event enters the trace (exec under SC, store-buffer
+   drain under TSO) and enqueues it; the captured line reaches NVRAM
+   only when a later Pdrain step — a scheduler decision — retires the
+   entry.  Fences never wait on this buffer: they only stamp a frontier
+   (the thread's fence epoch) that constrains drain order. *)
+
+let cur_epoch t tid =
+  match Hashtbl.find_opt t.pepoch tid with Some e -> e | None -> 0
+
+let bump_epoch t tid =
+  if t.persistence = Pbuffered then
+    Hashtbl.replace t.pepoch tid (cur_epoch t tid + 1)
+
+let note_flush t tid ~kind ~addr =
+  Om.incr m_flushes;
+  mark_unfenced t tid ~addr;
+  emit t (Event.Flush { tid; kind; addr });
+  if t.persistence = Pbuffered then begin
+    t.pseq <- t.pseq + 1;
+    Om.incr m_pb_enqueues;
+    Vec.push t.pbuf
+      { pb_tid = tid; pb_kind = kind; pb_addr = addr;
+        pb_epoch = cur_epoch t tid; pb_seq = t.pseq };
+    Om.observe m_pb_occupancy (float_of_int (Vec.length t.pbuf))
+  end
+
+let pb_line e = e.pb_addr asr 3
+
+(* An entry may drain when no pending same-line entry precedes it
+   (per-line FIFO) and no pending entry of its thread carries an
+   earlier fence epoch (the frontier a fence marked). *)
+let pb_eligible t i =
+  let e = Vec.get t.pbuf i in
+  let ok = ref true in
+  for j = 0 to Vec.length t.pbuf - 1 do
+    if j <> i then begin
+      let f = Vec.get t.pbuf j in
+      if
+        (pb_line f = pb_line e && f.pb_seq < e.pb_seq)
+        || (f.pb_tid = e.pb_tid && f.pb_epoch < e.pb_epoch)
+      then ok := false
+    end
+  done;
+  !ok
+
+(* The entry with the globally smallest enqueue stamp is always
+   eligible: any blocker would have to precede it. *)
+let pb_oldest t =
+  let best = ref (-1) in
+  for i = 0 to Vec.length t.pbuf - 1 do
+    if
+      !best < 0 || (Vec.get t.pbuf i).pb_seq < (Vec.get t.pbuf !best).pb_seq
+    then best := i
+  done;
+  !best
+
+let pdrain t i =
+  let e = Vec.swap_remove t.pbuf i in
+  Om.incr m_pb_drains;
+  emit t (Event.Pdrain { tid = e.pb_tid; kind = e.pb_kind; addr = e.pb_addr })
 
 (* Static footprint of the oldest buffered entry: what the next drain
    step of this thread will touch. *)
@@ -254,8 +471,7 @@ let drain_one t tid =
     emit t (Event.Access (Event.Store, { tid; addr; size; value; space }))
   | Sb_flush { kind; addr } ->
     Om.incr m_drains;
-    Om.incr m_flushes;
-    emit t (Event.Flush { tid; kind; addr })
+    note_flush t tid ~kind ~addr
 
 let drain_all t tid =
   while buffer_nonempty t tid do
@@ -291,6 +507,8 @@ let load_forwarded t tid ~addr ~size =
 let grant t tid l =
   l.owner <- Some tid;
   Memory.store t.mem ~addr:l.word ~size:8 1L;
+  bump_epoch t tid;  (* lock acquires are locked RMWs: persist ordering *)
+  note_commit t tid;
   emit t
     (Event.Access
        ( Event.Rmw,
@@ -311,6 +529,7 @@ let exec : type a. t -> int -> a op -> a =
          (Event.Load, { tid; addr; size; value; space = Addr.space_of addr }));
     value
   | Store { addr; size; value } ->
+    note_dirty t tid ~addr ~size;
     Memory.store t.mem ~addr ~size value;
     emit t
       (Event.Access
@@ -319,12 +538,17 @@ let exec : type a. t -> int -> a op -> a =
   | Rmw { addr; f } ->
     let old = Memory.load t.mem ~addr ~size:8 in
     let value = f old in
+    note_dirty t tid ~addr ~size:8;
     Memory.store t.mem ~addr ~size:8 value;
+    bump_epoch t tid;  (* locked instruction: orders the persist buffer *)
+    note_commit t tid;
     emit t
       (Event.Access
          (Event.Rmw, { tid; addr; size = 8; value; space = Addr.space_of addr }));
     old
   | Persist_barrier ->
+    bump_epoch t tid;
+    note_commit t tid;
     emit_meta t (Event.Persist_barrier tid);
     ()
   | New_strand ->
@@ -337,11 +561,12 @@ let exec : type a. t -> int -> a op -> a =
   | Free addr -> Memory.free t.mem addr
   | Yield -> ()
   | Flush_op { kind; addr } ->
-    Om.incr m_flushes;
-    emit t (Event.Flush { tid; kind; addr });
+    note_flush t tid ~kind ~addr;
     ()
   | Fence_op kind ->
     Om.incr m_fences;
+    bump_epoch t tid;
+    note_commit t tid;
     emit_meta t (Event.Fence { tid; kind });
     ()
   | Lock_op _ -> assert false  (* handled in [dispatch] *)
@@ -387,8 +612,10 @@ let dispatch : type a. t -> int -> a op -> (a, unit) continuation -> unit =
   match op with
   | Lock_op l ->
     (* under TSO the acquire is a locked instruction: it waits for the
-       thread's own buffer to drain first *)
-    schedule ~drains:tso t tid (static_footprint op) (fun () ->
+       thread's own buffer to drain first; granting commits pending
+       flushes like a fence (RMW-as-fence) *)
+    schedule ~drains:tso t tid (commit_footprint t tid (static_footprint op))
+      (fun () ->
         match l.owner with
         | None ->
           grant t tid l;
@@ -423,17 +650,60 @@ let dispatch : type a. t -> int -> a op -> (a, unit) continuation -> unit =
        semantics the analyses rely on are unaffected.) *)
     push_flush t tid ~kind ~addr;
     continue k ()
+  | Persist_barrier when t.barrier = Flush_sfence ->
+    (* flush+sfence annotation (NVTraverse-style Px86): the barrier
+       expands into clflushopt of every line this thread dirtied since
+       its previous barrier, followed by an sfence.  Under TSO the
+       flushes enter the store buffer in program order and the fence
+       waits for it to drain, exactly as if the workload had issued
+       them itself. *)
+    let lines = take_dirty t tid in
+    if tso then begin
+      List.iter
+        (fun addr -> push_flush t tid ~kind:Event.Clflushopt ~addr)
+        lines;
+      schedule ~drains:true t tid (commit_footprint t tid None) (fun () ->
+          continue k (exec t tid (Fence_op Event.Sfence)))
+    end
+    else begin
+      List.iter
+        (fun addr -> note_flush t tid ~kind:Event.Clflushopt ~addr)
+        lines;
+      match commit_footprint t tid None with
+      | Some _ as fp ->
+        schedule t tid fp (fun () ->
+            continue k (exec t tid (Fence_op Event.Sfence)))
+      | None -> continue k (exec t tid (Fence_op Event.Sfence))
+    end
   | Persist_barrier ->
     if tso then
       (* mfence-like: wait for the buffer, then mark the epoch *)
-      schedule ~drains:true t tid None (fun () -> continue k (exec t tid op))
-    else continue k (exec t tid op)
+      schedule ~drains:true t tid (commit_footprint t tid None) (fun () ->
+          continue k (exec t tid op))
+    else begin
+      (* committing pending flushes is visible to other threads' crash
+         outcomes (synchronous Px86 makes the lines durable), so the
+         barrier becomes a scheduling point exactly when it commits *)
+      match commit_footprint t tid None with
+      | Some _ as fp -> schedule t tid fp (fun () -> continue k (exec t tid op))
+      | None -> continue k (exec t tid op)
+    end
   | Fence_op _ ->
     if tso then
-      schedule ~drains:true t tid None (fun () -> continue k (exec t tid op))
-    else continue k (exec t tid op)
-  | Rmw _ | Unlock_op _ ->
-    (* locked instruction / write-through release: drains first (TSO) *)
+      schedule ~drains:true t tid (commit_footprint t tid None) (fun () ->
+          continue k (exec t tid op))
+    else begin
+      match commit_footprint t tid None with
+      | Some _ as fp -> schedule t tid fp (fun () -> continue k (exec t tid op))
+      | None -> continue k (exec t tid op)
+    end
+  | Rmw _ ->
+    (* locked instruction: drains first (TSO) and commits pending
+       flushes like a fence (RMW-as-fence) *)
+    schedule ~drains:tso t tid (commit_footprint t tid (static_footprint op))
+      (fun () -> continue k (exec t tid op))
+  | Unlock_op _ ->
+    (* write-through release: drains first (TSO) *)
     schedule ~drains:tso t tid (static_footprint op) (fun () ->
         continue k (exec t tid op))
   | Self | Load _ | Store _ | Flush_op _ | Yield ->
@@ -465,6 +735,7 @@ let spawn t body =
 type pick =
   | Pick_entry of int  (* index into the bag *)
   | Pick_drain of int  (* tid whose buffer drains one entry *)
+  | Pick_persist of int  (* index into the persistence buffer *)
 
 type step = {
   eff_tid : int;  (* drain pseudo-tid for drain steps *)
@@ -480,6 +751,9 @@ let picks t v =
   for tid = 0 to t.next_tid - 1 do
     if buffer_nonempty t tid then Vec.push ps (Pick_drain tid)
   done;
+  for i = 0 to Vec.length t.pbuf - 1 do
+    if pb_eligible t i then Vec.push ps (Pick_persist i)
+  done;
   ps
 
 let step_of_pick t v = function
@@ -492,6 +766,9 @@ let step_of_pick t v = function
           e.thunk ()) }
   | Pick_drain tid ->
     { eff_tid = drain_tid tid; exec_step = (fun () -> drain_one t tid) }
+  | Pick_persist i ->
+    { eff_tid = persist_tid (Vec.get t.pbuf i).pb_addr;
+      exec_step = (fun () -> pdrain t i) }
 
 (* Fifo (round-robin) keeps its deterministic shape under TSO: a
    drain-requiring operation first drains its own buffer in place, and
@@ -516,7 +793,18 @@ let take_runnable t =
               exec_step = (fun () -> drain_one t tid) }
         else first (tid + 1)
       in
-      first 0)
+      (match first 0 with
+      | Some s -> Some s
+      | None ->
+        (* persistence-buffer entries retire oldest-first once the run
+           queue and every store buffer are empty, keeping round-robin
+           deterministic *)
+        if Vec.is_empty t.pbuf then None
+        else
+          let i = pb_oldest t in
+          Some
+            { eff_tid = persist_tid (Vec.get t.pbuf i).pb_addr;
+              exec_step = (fun () -> pdrain t i) }))
   | Bag (v, rng) ->
     let ps = picks t v in
     if Vec.is_empty ps then None
@@ -552,7 +840,12 @@ let take_runnable t =
               let e = Vec.get v j in
               { tid = e.tid; index = i; next = e.next }
             | Pick_drain tid ->
-              { tid = drain_tid tid; index = i; next = drain_footprint t tid })
+              { tid = drain_tid tid; index = i; next = drain_footprint t tid }
+            | Pick_persist j ->
+              { tid = persist_tid (Vec.get t.pbuf j).pb_addr;
+                index = i;
+                next =
+                  Some { addr = 0; size = Addr.volatile_base; write = false } })
       in
       Array.sort
         (fun (a : step_info) (b : step_info) -> compare a.tid b.tid)
@@ -564,6 +857,8 @@ let take_runnable t =
           match Vec.get ps i with
           | Pick_entry j -> if (Vec.get v j).tid = tid then idx := i
           | Pick_drain t' -> if drain_tid t' = tid then idx := i
+          | Pick_persist j ->
+            if persist_tid (Vec.get t.pbuf j).pb_addr = tid then idx := i
       done;
       if !idx < 0 then
         invalid_arg

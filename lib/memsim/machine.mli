@@ -87,6 +87,28 @@ type model =
       (** x86-TSO: per-thread FIFO store buffers with load forwarding
           and nondeterministic drain *)
 
+type persistence =
+  | Psync
+      (** synchronous Px86: a flushed line is durable as soon as its
+          [Flush] event is ordered by a fence (the pre-PR-10 machine) *)
+  | Pbuffered
+      (** buffered Px86 ("Taming x86-TSO Persistency", Khyzha–Lahav):
+          flushes capture the line into a persistence buffer between
+          the cache and NVRAM.  Draining an entry is a scheduling
+          decision under the pseudo-thread [persist_tid addr], emitting
+          {!Event.Pdrain}; [sfence]/[mfence]/locked RMWs only mark a
+          frontier (earlier flushes of the thread drain before later
+          ones), they never force a drain.  Crash states therefore cut
+          the persistence buffer as well as the store buffer. *)
+
+type barrier_impl =
+  | Pbarrier  (** {!persist_barrier} emits [Persist_barrier] (default) *)
+  | Flush_sfence
+      (** {!persist_barrier} expands into [clflushopt] of every
+          persistent line the calling thread dirtied since its previous
+          barrier, followed by an [sfence] — the Px86 annotation the
+          TSO workload families run under *)
+
 val drain_tid : int -> int
 (** The pseudo-thread id that drains thread [tid]'s store buffer, as it
     appears in {!step_info} enabled sets and guided schedules. *)
@@ -95,6 +117,14 @@ val is_drain_tid : int -> bool
 
 val drain_parent : int -> int
 (** Inverse of {!drain_tid}. *)
+
+val persist_tid : int -> int
+(** The pseudo-thread id that drains the persistence-buffer entry for
+    the line holding [addr] ({!persistence.Pbuffered} machines).
+    Per-line FIFO order makes at most one entry per line eligible at a
+    time, so the id is unique within an enabled set. *)
+
+val is_persist_tid : int -> bool
 
 type policy =
   | Round_robin  (** rotate threads after every operation *)
@@ -118,10 +148,21 @@ exception Deadlock of int list
 (** Raised by {!run} when unfinished threads remain but all are parked
     on locks; carries the blocked thread ids. *)
 
-val create : ?policy:policy -> ?model:model -> memory:Memory.t -> unit -> t
-(** Default policy is [Round_robin]; default model is [Sc]. *)
+val create :
+  ?policy:policy ->
+  ?model:model ->
+  ?persistence:persistence ->
+  ?barrier:barrier_impl ->
+  memory:Memory.t ->
+  unit ->
+  t
+(** Default policy is [Round_robin]; default model is [Sc]; default
+    persistence is [Psync] (byte-identical to the pre-buffer machine);
+    default barrier is [Pbarrier]. *)
 
 val model : t -> model
+
+val persistence : t -> persistence
 
 val memory : t -> Memory.t
 

@@ -28,6 +28,8 @@ type params = {
   seed : int;
   policy : M.policy;
   machine : M.model;
+  persistence : M.persistence;
+  barrier : M.barrier_impl;
 }
 
 let default_params =
@@ -39,9 +41,12 @@ let default_params =
     capacity_entries = 64;
     seed = 42;
     policy = M.Round_robin;
-    machine = M.Sc }
+    machine = M.Sc;
+    persistence = M.Psync;
+    barrier = M.Pbarrier }
 
-let explore_params ?(threads = 2) ?(depth = 2) ?(machine = M.Sc) annotation =
+let explore_params ?(threads = 2) ?(depth = 2) ?(machine = M.Sc)
+    ?(persistence = M.Psync) ?(barrier = M.Pbarrier) annotation =
   { design = Cwl;
     annotation;
     threads;
@@ -50,7 +55,9 @@ let explore_params ?(threads = 2) ?(depth = 2) ?(machine = M.Sc) annotation =
     capacity_entries = threads * depth;
     seed = 1;
     policy = M.Round_robin;
-    machine }
+    machine;
+    persistence;
+    barrier }
 
 let annotation_for mode ~racing =
   match mode with
@@ -252,7 +259,10 @@ let run p ~sink =
       ~volatile_capacity:(4096 + (32 * p.threads))
       ()
   in
-  let machine = M.create ~policy:p.policy ~model:p.machine ~memory () in
+  let machine =
+    M.create ~policy:p.policy ~model:p.machine ~persistence:p.persistence
+      ~barrier:p.barrier ~memory ()
+  in
   M.set_sink machine sink;
   let head_addr = Memsim.Memory.alloc memory Memsim.Addr.Persistent 8 in
   let data_addr = Memsim.Memory.alloc memory Memsim.Addr.Persistent data_bytes in

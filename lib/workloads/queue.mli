@@ -57,11 +57,20 @@ type params = {
   machine : Memsim.Machine.model;
       (** machine consistency model; under [Tso] stores sit in per-thread
           store buffers and persist in drain order *)
+  persistence : Memsim.Machine.persistence;
+      (** [Pbuffered] drains flushed lines asynchronously from the
+          persistence buffer instead of committing them at the fence *)
+  barrier : Memsim.Machine.barrier_impl;
+      (** how {!Memsim.Machine.persist_barrier} is realized:
+          [Pbarrier] (the paper's atomic barrier) or [Flush_sfence]
+          (the Px86 flush+sfence annotation, the only form x86-TSO
+          actually offers) *)
 }
 
 val default_params : params
 (** CWL, [Unannotated], 1 thread, 1000 inserts, 100-byte entries,
-    64-entry capacity, seed 42, round-robin, SC machine. *)
+    64-entry capacity, seed 42, round-robin, SC machine, synchronous
+    persists, paper barrier. *)
 
 val annotation_for : Persistency.Config.mode -> racing:bool -> annotation
 (** The natural annotation for a model: strict → [Unannotated], epoch →
@@ -69,6 +78,8 @@ val annotation_for : Persistency.Config.mode -> racing:bool -> annotation
 
 val explore_params :
   ?threads:int -> ?depth:int -> ?machine:Memsim.Machine.model ->
+  ?persistence:Memsim.Machine.persistence ->
+  ?barrier:Memsim.Machine.barrier_impl ->
   annotation -> params
 (** A CWL instance sized for systematic exploration ({!Check}):
     [threads] (default 2) threads of [depth] (default 2) inserts of a

@@ -136,7 +136,9 @@ let test_hw_queue_comparison () =
       capacity_entries = 24;
       seed = 3;
       policy = Memsim.Machine.Random 3;
-      machine = Memsim.Machine.Sc }
+      machine = Memsim.Machine.Sc;
+      persistence = Memsim.Machine.Psync;
+      barrier = Memsim.Machine.Pbarrier }
   in
   let trace = Memsim.Trace.create () in
   let _ = Workloads.Queue.run params ~sink:(Memsim.Trace.sink trace) in

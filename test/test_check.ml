@@ -443,6 +443,98 @@ let test_tso_counterexample_replay () =
     replay (M.Scripted (S.to_script (S.of_string (S.to_string sched))));
     replay (M.Scripted (S.to_script sched))
 
+(* ------------------------------------------------------------------ *)
+(* Buffered-persistency counter-example capture and deterministic
+   replay *)
+
+(* The cross-thread buffered-only weak behavior as a raw machine
+   program: t0 flushes x and fences before publishing z; t1 sees z=1
+   and persists y.  Under synchronous Px86 x is durable before z is
+   even visible, so y can never be durable without x.  Under the
+   buffered machine the drain of x's captured line is a scheduler
+   decision, so DPOR must find a schedule where x's Pdrain lands only
+   after y's store has entered the global order even though the reader
+   observed the fence-ordered publish — exactly then y's persist node
+   carries no order edge to x and a crash can leave y durable with x
+   lost.  (Relative order of the two Pdrains themselves is not the
+   criterion: drains commute, so DPOR deliberately prunes those
+   permutations.)  The schedule must name a persist pseudo-thread,
+   survive the string round-trip, and replay bit-identically. *)
+let flush_async_buffered policy =
+  let memory = Memsim.Memory.create () in
+  let machine =
+    M.create ~policy ~model:M.Tso ~persistence:M.Pbuffered ~memory ()
+  in
+  let trace = Memsim.Trace.create () in
+  M.set_sink machine (Memsim.Trace.sink trace);
+  let x = Memsim.Memory.alloc memory Memsim.Addr.Persistent 8 in
+  let y = Memsim.Memory.alloc memory Memsim.Addr.Persistent 8 in
+  let z = Memsim.Memory.alloc memory Memsim.Addr.Persistent 8 in
+  let r = [| 42L |] in
+  ignore
+    (M.spawn machine (fun () ->
+         M.store x 1L;
+         M.clflushopt x;
+         M.sfence ();
+         M.store z 1L));
+  ignore
+    (M.spawn machine (fun () ->
+         r.(0) <- M.load z;
+         M.store y 1L;
+         M.clflushopt y;
+         M.sfence ()));
+  M.run machine;
+  let events = Memsim.Trace.to_list trace in
+  let key = String.concat ";" (List.map E.to_string events) in
+  let drain_pos addr =
+    let rec find i = function
+      | [] -> max_int
+      | E.Pdrain { addr = a; _ } :: _ when a = addr -> i
+      | _ :: tl -> find (i + 1) tl
+    in
+    find 0 events
+  in
+  let store_pos addr =
+    let rec find i = function
+      | [] -> max_int
+      | E.Access (E.Store, a) :: _ when a.E.addr = addr -> i
+      | _ :: tl -> find (i + 1) tl
+    in
+    find 0 events
+  in
+  (key, r.(0), drain_pos x, store_pos y)
+
+let test_buffered_counterexample_replay () =
+  let found = ref None in
+  let stats =
+    D.explore
+      ~on_exec:(fun sched (key, r0, dx, sy) ->
+        if r0 = 1L && sy < dx then begin
+          found := Some (sched, key);
+          D.Stop
+        end
+        else D.Continue)
+      flush_async_buffered
+  in
+  match !found with
+  | None ->
+    Alcotest.failf "buffered-only weak outcome not found in %d schedules"
+      stats.D.schedules
+  | Some (sched, key) ->
+    Alcotest.(check bool)
+      "schedule names a persist pseudo-thread" true
+      (Array.exists M.is_persist_tid sched.S.tids);
+    let replay policy =
+      let key', r0, dx, sy = flush_async_buffered policy in
+      Alcotest.(check string) "replayed trace" key key';
+      Alcotest.(check bool)
+        "replayed weak outcome" true
+        (r0 = 1L && sy < dx)
+    in
+    replay (M.Scripted (S.to_script sched));
+    replay (M.Scripted (S.to_script (S.of_string (S.to_string sched))));
+    replay (M.Scripted (S.to_script sched))
+
 let () =
   Alcotest.run "check"
     [ ( "schedule",
@@ -470,6 +562,9 @@ let () =
       ( "tso",
         [ Alcotest.test_case "counter-example replay" `Quick
             test_tso_counterexample_replay ] );
+      ( "tso-buffered",
+        [ Alcotest.test_case "counter-example replay" `Quick
+            test_buffered_counterexample_replay ] );
       ( "parallel",
         [ Alcotest.test_case "jobs=2 same census" `Quick test_explore_par ] )
     ]

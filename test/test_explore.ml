@@ -222,7 +222,9 @@ let exhaustive_queue ?(design = Q.Cwl) ?(limit = 20_000)
         capacity_entries;
         seed = 1;
         policy;
-        machine = M.Sc }
+        machine = M.Sc;
+        persistence = M.Psync;
+        barrier = M.Pbarrier }
     in
     let cfg = P.Config.make ~record_graph:true mode in
     let engine = P.Engine.create cfg in

@@ -157,7 +157,10 @@ let gen_kv_params rng mode =
     group_size;
     seed = Random.State.int rng 10_000;
     policy = Memsim.Machine.Random (Random.State.int rng 10_000);
-    dist = Workloads.Keygen.Uniform }
+    dist = Workloads.Keygen.Uniform;
+    machine = Memsim.Machine.Sc;
+    persistence = Memsim.Machine.Psync;
+    barrier = Memsim.Machine.Pbarrier }
 
 let fuzz_kv ~name ~count mode =
   for seed = 1 to count do
@@ -310,14 +313,22 @@ let gen_racefree_test rng seed =
     threads = [ thread 0; thread 1 ];
     observe = [];
     sc = { Litmus.allowed = []; forbidden = [] };
-    tso = { Litmus.allowed = []; forbidden = [] } }
+    tso = { Litmus.allowed = []; forbidden = [] };
+    tso_buf = None }
 
-let fingerprint_census t model =
+let fingerprint_census t (config : Litmus.mconfig) =
   let seen = Hashtbl.create 64 in
-  let cfg = Litmus.default_cfg in
+  let cfg =
+    if config.Litmus.persistence = Memsim.Machine.Pbuffered then
+      Litmus.buffered_cfg
+    else Litmus.default_cfg
+  in
   let run policy =
     let memory = Memsim.Memory.create ~persistent_capacity:1024 () in
-    let machine = Memsim.Machine.create ~policy ~model ~memory () in
+    let machine =
+      Memsim.Machine.create ~policy ~model:config.Litmus.model
+        ~persistence:config.Litmus.persistence ~memory ()
+    in
     let engine = P.Engine.create cfg in
     Memsim.Machine.set_sink machine (P.Engine.observe engine);
     let addrs =
@@ -339,7 +350,7 @@ let fingerprint_census t model =
   let o = Memsim.Explore.run_all ~limit:200_000 run in
   if not o.Memsim.Explore.complete then
     Alcotest.failf "%s/%s: exploration hit the limit" t.Litmus.name
-      (Litmus.model_name model);
+      (Litmus.config_name config);
   ( o.Memsim.Explore.traces,
     List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []) )
 
@@ -348,14 +359,73 @@ let test_racefree_sc_tso_census () =
     traced ~name:"racefree-sc-tso" ~seed @@ fun () ->
     let rng = Random.State.make [| 0x2545f491; seed |] in
     let t = gen_racefree_test rng seed in
-    let sc_traces, sc_census = fingerprint_census t Memsim.Machine.Sc in
-    let tso_traces, tso_census = fingerprint_census t Memsim.Machine.Tso in
+    let sc_traces, sc_census = fingerprint_census t Litmus.sc_config in
+    let tso_traces, tso_census = fingerprint_census t Litmus.tso_sync_config in
     if sc_census <> tso_census then
       Alcotest.failf
         "%s: fingerprint census diverged (sc %d fingerprints / %d traces, \
          tso %d / %d)"
         t.Litmus.name (List.length sc_census) sc_traces
         (List.length tso_census) tso_traces
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Sync/buffered differential on fully-fenced race-free programs.
+
+   An sfence immediately after every clflushopt/clwb leaves the
+   persistence buffer no same-thread room: the fence is a drain
+   frontier, so by the time the thread's next persist is created its
+   flushed line is committed — exactly when synchronous Px86 would
+   have drained it.  For such a program the persist-graph fingerprint
+   census over all interleavings (order edges included) must be
+   identical under TSO-sync and TSO-buffered, even though the buffered
+   machine explores strictly more schedules (every drain placement).
+
+   Race-freedom is required, not incidental: with a cross-thread
+   conflict a reader can act on a *published* value while the writer's
+   flushed line still sits in the persistence buffer, so the reader's
+   persists reach NVRAM first — the buffered-only litmus outcomes
+   (cross-thread-flush-async and friends).  Fenced-but-racy programs
+   genuinely distinguish the two machines; fenced race-free ones must
+   not. *)
+
+let gen_fenced_test rng seed =
+  let thread t =
+    let ops = 1 + Random.State.int rng 3 in
+    let own = [| Printf.sprintf "a%d" t; Printf.sprintf "b%d" t |] in
+    List.concat_map
+      (fun _ ->
+        match gen_litmus_instr rng own.(Random.State.int rng 2) with
+        | (Litmus.Flush _ | Litmus.Clwb _) as f -> [ f; Litmus.Sfence ]
+        | i -> [ i ])
+      (List.init ops Fun.id)
+  in
+  { Litmus.name = Printf.sprintf "fenced-%d" seed;
+    doc = "generated fully-fenced race-free program";
+    vars = [ "a0"; "b0"; "a1"; "b1" ];
+    threads = [ thread 0; thread 1 ];
+    observe = [];
+    sc = { Litmus.allowed = []; forbidden = [] };
+    tso = { Litmus.allowed = []; forbidden = [] };
+    tso_buf = None }
+
+let test_fenced_sync_buffered_census () =
+  for seed = 1 to litmus_traces do
+    traced ~name:"fenced-sync-buffered" ~seed @@ fun () ->
+    let rng = Random.State.make [| 0x6c62272e; seed |] in
+    let t = gen_fenced_test rng seed in
+    let sync_traces, sync_census =
+      fingerprint_census t Litmus.tso_sync_config
+    in
+    let buf_traces, buf_census =
+      fingerprint_census t Litmus.tso_buffered_config
+    in
+    if sync_census <> buf_census then
+      Alcotest.failf
+        "%s: fingerprint census diverged (tso-sync %d fingerprints / %d \
+         traces, tso-buffered %d / %d)"
+        t.Litmus.name (List.length sync_census) sync_traces
+        (List.length buf_census) buf_traces
   done
 
 type campaign = {
@@ -446,4 +516,9 @@ let () =
         [ Alcotest.test_case
             (Printf.sprintf "race-free census equal (%d programs)"
                litmus_traces)
-            `Quick test_racefree_sc_tso_census ] ) ]
+            `Quick test_racefree_sc_tso_census ] );
+      ( "sync-buffered-differential",
+        [ Alcotest.test_case
+            (Printf.sprintf "fully-fenced race-free census equal (%d programs)"
+               litmus_traces)
+            `Quick test_fenced_sync_buffered_census ] ) ]

@@ -18,7 +18,9 @@ let tiny_params =
     capacity_entries = 2;
     seed = 1;
     policy = M.Round_robin;
-    machine = M.Sc }
+    machine = M.Sc;
+        persistence = M.Psync;
+        barrier = M.Pbarrier }
 
 let trace_string params =
   let trace = Memsim.Trace.create () in

@@ -32,7 +32,10 @@ let tiny discipline =
     group_size = 2;
     seed = 11;
     policy = Memsim.Machine.Round_robin;
-    dist = Workloads.Keygen.Uniform }
+    dist = Workloads.Keygen.Uniform;
+    machine = Memsim.Machine.Sc;
+    persistence = Memsim.Machine.Psync;
+    barrier = Memsim.Machine.Pbarrier }
 
 let graph_of params mode =
   let _, graph, layout = X.analyze_with_graph params (P.Config.make mode) in

@@ -376,6 +376,7 @@ let test_machine_barrier_events () =
         | Memsim.Event.New_strand _ -> "ns"
         | Memsim.Event.Flush _ -> "flush"
         | Memsim.Event.Fence _ -> "fence"
+        | Memsim.Event.Pdrain _ -> "pdrain"
         | Memsim.Event.Access (_, _) -> "other")
       (Memsim.Trace.to_list trace)
   in

@@ -110,7 +110,9 @@ let test_drain_monotone_in_depth () =
       capacity_entries = 32;
       seed = 2;
       policy = Memsim.Machine.Round_robin;
-      machine = Memsim.Machine.Sc }
+      machine = Memsim.Machine.Sc;
+      persistence = Memsim.Machine.Psync;
+      barrier = Memsim.Machine.Pbarrier }
   in
   let cfg = P.Config.make ~record_graph:true P.Config.Epoch in
   let engine = P.Engine.create cfg in

@@ -25,7 +25,9 @@ let run_and_graph ~design ~annotation ~mode ~threads ~inserts ~seed =
       capacity_entries = threads * inserts;
       seed;
       policy = Memsim.Machine.Random seed;
-      machine = Memsim.Machine.Sc }
+      machine = Memsim.Machine.Sc;
+      persistence = Memsim.Machine.Psync;
+      barrier = Memsim.Machine.Pbarrier }
   in
   let cfg = P.Config.make ~record_graph:true mode in
   let engine = P.Engine.create cfg in
@@ -201,7 +203,9 @@ let recovery_property =
           capacity_entries = threads * inserts;
           seed;
           policy = Memsim.Machine.Random seed;
-          machine = Memsim.Machine.Sc }
+          machine = Memsim.Machine.Sc;
+      persistence = Memsim.Machine.Psync;
+      barrier = Memsim.Machine.Pbarrier }
       in
       let cfg = P.Config.make ~record_graph:true mode in
       let engine = P.Engine.create cfg in

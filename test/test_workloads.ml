@@ -110,7 +110,9 @@ let run_queue ?(design = Q.Cwl) ?(annotation = Q.Unannotated) ?(threads = 1)
       capacity_entries = capacity;
       seed = 11;
       policy;
-      machine }
+      machine;
+      persistence = M.Psync;
+      barrier = M.Pbarrier }
   in
   let trace = Memsim.Trace.create () in
   let result = Q.run params ~sink:(Memsim.Trace.sink trace) in
@@ -169,7 +171,7 @@ let test_queue_annotations_emit_barriers () =
         | Memsim.Event.Persist_barrier _ -> incr pbs
         | Memsim.Event.New_strand _ -> incr nss
         | Memsim.Event.Access _ | Memsim.Event.Label _ | Memsim.Event.Flush _
-        | Memsim.Event.Fence _ ->
+        | Memsim.Event.Fence _ | Memsim.Event.Pdrain _ ->
           ())
       trace;
     (!pbs, !nss)
